@@ -1,0 +1,161 @@
+// Benchmarks regenerating every table and figure of Milic et al.
+// (MICRO 2017) at a reduced scale. One benchmark iteration executes the
+// complete experiment; the headline quantities of each figure are
+// attached as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints, next to the usual ns/op, the reproduced speedups and
+// efficiencies to compare against the paper (see EXPERIMENTS.md).
+// Simulation runs are memoized across benchmarks within one process,
+// mirroring how the figures share baselines in the paper.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *exp.Runner
+)
+
+// benchRunner returns the shared reduced-scale harness.
+func benchRunner() *exp.Runner {
+	runnerOnce.Do(func() {
+		runner = exp.NewRunner(exp.Options{Divisor: 8, IterScale: 0.25})
+	})
+	return runner
+}
+
+// report attaches every summary value of an experiment as a benchmark
+// metric.
+func report(b *testing.B, res exp.Result) {
+	b.Helper()
+	for k, v := range res.Summary {
+		b.ReportMetric(v, k)
+	}
+	if res.Table.Rows() == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+func BenchmarkTable1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Table1(benchRunner()))
+	}
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Table2(benchRunner()))
+	}
+}
+
+// BenchmarkFigure2Occupancy: percentage of workloads able to fill 1-8×
+// larger GPUs (paper: ≈100/90/85/80%).
+func BenchmarkFigure2Occupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure2(benchRunner()))
+	}
+}
+
+// BenchmarkFigure3Locality: traditional vs locality-optimized runtime
+// on 4 sockets vs the 4× monolithic GPU.
+func BenchmarkFigure3Locality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure3(benchRunner()))
+	}
+}
+
+// BenchmarkFigure5LinkProfile: per-GPU link utilization phases of
+// HPC-HPGMG-UVM (the phenomenon motivating Section 4).
+func BenchmarkFigure5LinkProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure5(benchRunner()))
+	}
+}
+
+// BenchmarkFigure6LinkAdaptivity: dynamic lane balancing vs sample
+// time, with the 2× bandwidth upper bound (paper: +14% avg @5K).
+func BenchmarkFigure6LinkAdaptivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure6(benchRunner()))
+	}
+}
+
+// BenchmarkFigure8CachePartitioning: the four L2 organizations of
+// Figure 7 (paper: static +54%, NUMA-aware +76% over memory-side).
+func BenchmarkFigure8CachePartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure8(benchRunner()))
+	}
+}
+
+// BenchmarkFigure9CoherenceOverhead: cost of extending SW coherence
+// into the L2 (paper: ≈10% average).
+func BenchmarkFigure9CoherenceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure9(benchRunner()))
+	}
+}
+
+// BenchmarkFigure10Combined: both mechanisms together vs each alone
+// (paper: 2.1× over single GPU, +80% over the SW baseline).
+func BenchmarkFigure10Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure10(benchRunner()))
+	}
+}
+
+// BenchmarkFigure11Scalability: the headline result — 2/4/8-socket
+// NUMA-aware GPUs vs 2/4/8× monolithic GPUs over all 41 workloads
+// (paper: 1.5×/2.3×/3.2× at 89/84/76% efficiency).
+func BenchmarkFigure11Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Figure11(benchRunner()))
+	}
+}
+
+// BenchmarkSwitchTimeSensitivity: lane turn cost of 10/100/500 cycles
+// (paper §4.1: <2% loss even at 500).
+func BenchmarkSwitchTimeSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.SwitchTimeSensitivity(benchRunner()))
+	}
+}
+
+// BenchmarkWritePolicy: write-back vs write-through coherent L2
+// (paper §5.2: WB wins by ≈9%).
+func BenchmarkWritePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.WritePolicy(benchRunner()))
+	}
+}
+
+// BenchmarkPowerModel: interconnect power at 10pJ/b (paper §6:
+// ≈30W baseline → ≈14W NUMA-aware on average).
+func BenchmarkPowerModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Power(benchRunner()))
+	}
+}
+
+// BenchmarkLaneGranularity: ablation — 4 coarse lanes vs 8 fine lanes
+// at equal total bandwidth under the dynamic balancer.
+func BenchmarkLaneGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.LaneGranularity(benchRunner()))
+	}
+}
+
+// BenchmarkMultiTenancy: Section 6 discussion — how much of the whole
+// NUMA GPU a 1/4 partition already delivers for small grids.
+func BenchmarkMultiTenancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.MultiTenancy(benchRunner()))
+	}
+}

@@ -1,0 +1,133 @@
+// Command numagpu regenerates the tables and figures of "Beyond the
+// Socket: NUMA-Aware GPUs" (Milic et al., MICRO 2017) from the Go
+// reproduction in this repository.
+//
+// Usage:
+//
+//	numagpu [flags] <experiment>...
+//
+// Experiments: table1 table2 fig2 fig3 fig5 fig6 fig8 fig9 fig10 fig11
+// switchtime writepolicy power all
+//
+// Flags:
+//
+//	-iterscale f   scale workload iteration counts (default 1.0)
+//	-divisor n     architecture scale divisor vs the paper machine (default 8)
+//	-quick         shorthand for -iterscale 0.25
+//	-csv dir       also write each experiment's table as CSV into dir
+//	-v             per-run progress on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/exp"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(*exp.Runner) exp.Result
+}{
+	{"table1", "simulation parameters", exp.Table1},
+	{"table2", "workload inventory", exp.Table2},
+	{"fig2", "workloads filling larger GPUs", exp.Figure2},
+	{"fig3", "SW locality vs traditional policies", exp.Figure3},
+	{"fig5", "link utilization profile (HPGMG-UVM)", exp.Figure5},
+	{"fig6", "dynamic link adaptivity vs sample time", exp.Figure6},
+	{"fig8", "cache organizations", exp.Figure8},
+	{"fig9", "SW coherence overhead in L2", exp.Figure9},
+	{"fig10", "combined improvement", exp.Figure10},
+	{"fig11", "2/4/8-socket scalability", exp.Figure11},
+	{"switchtime", "lane turn time sensitivity (Sec 4.1)", exp.SwitchTimeSensitivity},
+	{"writepolicy", "write-back vs write-through L2 (Sec 5.2)", exp.WritePolicy},
+	{"power", "interconnect power (Sec 6)", exp.Power},
+	{"lanegran", "lane granularity ablation", exp.LaneGranularity},
+	{"tenancy", "small workloads on partitioned GPUs (Sec 6)", exp.MultiTenancy},
+}
+
+func main() {
+	iterScale := flag.Float64("iterscale", 1.0, "workload iteration scale")
+	divisor := flag.Int("divisor", 8, "architecture scale divisor")
+	quick := flag.Bool("quick", false, "quick mode (iterscale 0.25)")
+	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	verbose := flag.Bool("v", false, "per-run progress on stderr")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale}
+	if *quick {
+		opts.IterScale = 0.25
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	runner := exp.NewRunner(opts)
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = nil
+		for _, e := range experiments {
+			names = append(names, e.name)
+		}
+	}
+	for _, name := range names {
+		found := false
+		for _, e := range experiments {
+			if e.name != name {
+				continue
+			}
+			found = true
+			start := time.Now()
+			res := e.run(runner)
+			fmt.Println(res.Table.String())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, e.name+".csv")
+				if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("summary:")
+			for _, k := range sortedKeys(res.Summary) {
+				fmt.Printf(" %s=%.3f", k, res.Summary[k])
+			}
+			fmt.Printf("\nelapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: numagpu [flags] <experiment>...\n\nexperiments:\n")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(os.Stderr, "  %-12s run everything\n\nflags:\n", "all")
+	flag.PrintDefaults()
+}

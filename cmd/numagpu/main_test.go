@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestExperimentRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment name %q", e.name)
+		}
+		if e.name == "all" {
+			t.Fatal("'all' is reserved")
+		}
+		seen[e.name] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig2", "fig3", "fig5", "fig6",
+		"fig8", "fig9", "fig10", "fig11", "switchtime", "writepolicy", "power"} {
+		if !seen[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]float64{"b": 2, "a": 1, "c": 3}
+	keys := sortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("sortedKeys = %v", keys)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Beyond the
+// Socket: NUMA-Aware GPUs" (Milic et al., MICRO-50, 2017): a
+// cycle-level multi-socket GPU simulator, the paper's locality-
+// optimized runtime, its two adaptive NUMA mechanisms (dynamic
+// asymmetric inter-GPU links and NUMA-aware L1/L2 cache partitioning),
+// the 41-workload evaluation suite, and a harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// The benchmarks in this package (bench_test.go) regenerate the paper's
+// experiments at a reduced scale; the cmd/numagpu binary runs them at
+// full scale. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,61 @@
+// Scaling sweeps a few representative workloads across 2-, 4- and
+// 8-socket NUMA-aware GPUs and prints speedup over a single GPU next
+// to the hypothetical monolithic GPU of the same size — a miniature
+// Figure 11.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func speedup(cfg arch.Config, spec workload.Spec, base core.Result, opts workload.Options) float64 {
+	res := core.MustSystem(cfg).Run(spec.Program(opts))
+	return res.SpeedupOver(base)
+}
+
+func main() {
+	names := []string{
+		"Other-Stream-Triad",   // bandwidth-bound, embarrassingly local
+		"Rodinia-Hotspot",      // stencil
+		"HPC-CoMD",             // mixed with gather phases
+		"HPC-RSBench",          // shared-table, interconnect-crushed
+		"Other-Bitcoin-Crypto", // 60 CTAs: cannot fill big GPUs
+	}
+	opts := workload.Options{IterScale: 0.35}
+	scale := arch.ScaledConfig(8)
+
+	fmt.Printf("%-22s %8s %8s %8s   %8s %8s %8s\n", "workload",
+		"2-sock", "4-sock", "8-sock", "2x GPU", "4x GPU", "8x GPU")
+	for _, name := range names {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			panic("workload missing: " + name)
+		}
+		single := scale
+		single.Sockets = 1
+		base := core.MustSystem(single).Run(spec.Program(opts))
+
+		row := []float64{}
+		for _, n := range []int{2, 4, 8} {
+			cfg := scale.WithSockets(n)
+			cfg.CacheMode = arch.CacheNUMAAware
+			cfg.LinkMode = arch.LinkDynamic
+			row = append(row, speedup(cfg, spec, base, opts))
+		}
+		for _, n := range []int{2, 4, 8} {
+			row = append(row, speedup(single.Monolithic(n), spec, base, opts))
+		}
+		fmt.Printf("%-22s %8.2f %8.2f %8.2f   %8.2f %8.2f %8.2f\n",
+			name, row[0], row[1], row[2], row[3], row[4], row[5])
+	}
+	fmt.Println("\nLocal workloads track the unbuildable monolithic GPU almost 1:1;")
+	fmt.Println("small grids (Bitcoin, 60 CTAs) plateau on both machines; irregular")
+	fmt.Println("remote-bound codes remain NUMA-limited at this short run length -")
+	fmt.Println("run ./cmd/numagpu fig11 for the converged full-scale sweep.")
+}

@@ -1,0 +1,201 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineGeometry(t *testing.T) {
+	if LineSize != 1<<LineShift {
+		t.Fatal("LineSize and LineShift disagree")
+	}
+	if PageSize != 1<<PageShift {
+		t.Fatal("PageSize and PageShift disagree")
+	}
+	if LineOf(0) != 0 || LineOf(127) != 0 || LineOf(128) != 1 {
+		t.Fatal("LineOf boundaries wrong")
+	}
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Fatal("PageOf boundaries wrong")
+	}
+}
+
+// TestPropertyLinePageConsistency: a line's page equals its first
+// byte's page, for arbitrary addresses.
+func TestPropertyLinePageConsistency(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		l := LineOf(addr)
+		if l.Addr() > addr || addr-l.Addr() >= LineSize {
+			return false
+		}
+		return PageOfLine(l) == PageOf(l.Addr())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperConfigMatchesTable1(t *testing.T) {
+	c := PaperConfig()
+	checks := []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"Sockets", c.Sockets, 4},
+		{"SMsPerSocket", c.SMsPerSocket, 64},
+		{"MaxWarpsPerSM", c.MaxWarpsPerSM, 64},
+		{"L1Bytes", c.L1Bytes, 128 << 10},
+		{"L1Assoc", c.L1Assoc, 4},
+		{"L2Bytes", c.L2Bytes, 4 << 20},
+		{"L2Assoc", c.L2Assoc, 16},
+		{"DRAMBandwidth", c.DRAMBandwidth, 768.0},
+		{"DRAMLatency", c.DRAMLatency, 100},
+		{"LanesPerDir", c.LanesPerDir, 8},
+		{"LaneBandwidth", c.LaneBandwidth, 8.0},
+		{"LinkLatency", c.LinkLatency, 128},
+		{"LinkSampleTime", c.LinkSampleTime, 5000},
+		{"LaneSwitchTime", c.LaneSwitchTime, 100},
+		{"CacheSampleTime", c.CacheSampleTime, 5000},
+	}
+	for _, ck := range checks {
+		if ck.got != ck.want {
+			t.Errorf("%s = %v, want %v", ck.name, ck.got, ck.want)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("paper config invalid: %v", err)
+	}
+}
+
+func TestLinkDirBandwidth(t *testing.T) {
+	c := PaperConfig()
+	if got := c.LinkDirBandwidth(); got != 64 {
+		t.Fatalf("per-direction link bandwidth %v, want 64 (Table 1: 64GB/s)", got)
+	}
+}
+
+// TestScaledConfigPreservesRatios: the DRAM:link-direction ratio of 12:1
+// that the NUMA penalty depends on must survive scaling.
+func TestScaledConfigPreservesRatios(t *testing.T) {
+	for _, div := range []int{1, 2, 4, 8} {
+		c := ScaledConfig(div)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("divisor %d: %v", div, err)
+		}
+		ratio := c.DRAMBandwidth / c.LinkDirBandwidth()
+		if ratio < 11.9 || ratio > 12.1 {
+			t.Errorf("divisor %d: DRAM:link ratio %v, want 12", div, ratio)
+		}
+		if c.L1Bytes != PaperConfig().L1Bytes {
+			t.Errorf("divisor %d: per-SM L1 must not scale", div)
+		}
+	}
+}
+
+func TestScaledConfigDegenerate(t *testing.T) {
+	c := ScaledConfig(0) // clamps to 1
+	if c.SMsPerSocket != PaperConfig().SMsPerSocket {
+		t.Fatal("divisor 0 should behave as 1")
+	}
+	huge := ScaledConfig(1 << 20)
+	if err := huge.Validate(); err != nil {
+		t.Fatalf("extreme divisor must still validate: %v", err)
+	}
+}
+
+func TestMonolithicScaling(t *testing.T) {
+	base := ScaledConfig(8)
+	m := base.Monolithic(4)
+	if m.Sockets != 1 {
+		t.Fatal("monolithic must be single socket")
+	}
+	if m.SMsPerSocket != 4*base.SMsPerSocket {
+		t.Fatal("monolithic SMs must scale")
+	}
+	if m.DRAMBandwidth != 4*base.DRAMBandwidth {
+		t.Fatal("monolithic DRAM bandwidth must scale")
+	}
+	if m.L2Bytes != 4*base.L2Bytes {
+		t.Fatal("monolithic L2 must scale")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithSockets(t *testing.T) {
+	c := PaperConfig().WithSockets(8)
+	if c.Sockets != 8 {
+		t.Fatal("WithSockets did not apply")
+	}
+	if c.TotalSMs() != 8*64 {
+		t.Fatalf("TotalSMs %d, want 512", c.TotalSMs())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no sockets", func(c *Config) { c.Sockets = 0 }},
+		{"no SMs", func(c *Config) { c.SMsPerSocket = 0 }},
+		{"no warps", func(c *Config) { c.MaxWarpsPerSM = 0 }},
+		{"tiny L1", func(c *Config) { c.L1Bytes = 64 }},
+		{"1-way L2", func(c *Config) { c.L2Assoc = 1 }},
+		{"no lanes", func(c *Config) { c.LanesPerDir = 0 }},
+		{"negative DRAM bw", func(c *Config) { c.DRAMBandwidth = -1 }},
+		{"zero lane bw", func(c *Config) { c.LaneBandwidth = 0 }},
+		{"zero sample", func(c *Config) { c.LinkSampleTime = 0 }},
+	}
+	for _, tc := range cases {
+		c := PaperConfig()
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if SchedFineGrain.String() == SchedBlock.String() {
+		t.Fatal("sched strings must differ")
+	}
+	if PlaceFirstTouch.String() != "first-touch" {
+		t.Fatalf("unexpected %q", PlaceFirstTouch.String())
+	}
+	modes := []CacheMode{CacheMemSideLocal, CacheStaticPartition, CacheSharedCoherent, CacheNUMAAware}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		s := m.String()
+		if seen[s] {
+			t.Fatalf("duplicate cache mode string %q", s)
+		}
+		seen[s] = true
+	}
+	if LinkStatic.String() == LinkDynamic.String() {
+		t.Fatal("link mode strings must differ")
+	}
+}
+
+func TestCacheLineCounts(t *testing.T) {
+	c := PaperConfig()
+	if c.L1Lines() != (128<<10)/128 {
+		t.Fatalf("L1 lines %d", c.L1Lines())
+	}
+	if c.L2Lines() != (4<<20)/128 {
+		t.Fatalf("L2 lines %d", c.L2Lines())
+	}
+}
+
+func TestTestConfigIsValidAndTiny(t *testing.T) {
+	c := TestConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalSMs() > 16 {
+		t.Fatalf("test config too big: %d SMs", c.TotalSMs())
+	}
+}

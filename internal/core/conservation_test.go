@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xlink"
+)
+
+// TestLinkByteConservation: across the whole fabric, every byte that
+// leaves some socket's egress arrives at some socket's ingress — the
+// switch neither creates nor destroys traffic.
+func TestLinkByteConservation(t *testing.T) {
+	spec, _ := workload.ByName("HPC-CoMD") // reads + gather writes + flushes
+	cfg := arch.TestConfig()
+	cfg.CacheMode = arch.CacheNUMAAware
+	cfg.LinkMode = arch.LinkDynamic
+	sys := core.MustSystem(cfg)
+	sys.Run(spec.Program(workload.Options{IterScale: 0.2, MaxCTAs: 64}))
+
+	var egress, ingress uint64
+	for i := 0; i < cfg.Sockets; i++ {
+		l := sys.Socket(i).Link()
+		egress += l.Sent[xlink.Egress].Value()
+		ingress += l.Sent[xlink.Ingress].Value()
+	}
+	if egress != ingress {
+		t.Fatalf("fabric conservation violated: egress %d != ingress %d", egress, ingress)
+	}
+	if egress == 0 {
+		t.Fatal("expected inter-socket traffic")
+	}
+}
+
+// TestNoLinkTrafficWhenLocal: a perfectly local workload on the
+// locality runtime must generate zero interconnect traffic outside
+// coherence flushes (which it has none of, being single-kernel with
+// local stores only).
+func TestNoLinkTrafficWhenLocal(t *testing.T) {
+	spec, _ := workload.ByName("Other-Stream-Triad")
+	cfg := arch.TestConfig()
+	sys := core.MustSystem(cfg)
+	res := sys.Run(spec.Program(workload.Options{IterScale: 0.2, MaxCTAs: 64}))
+	if res.LinkBytes != 0 {
+		t.Fatalf("streaming triad moved %d bytes between sockets; locality runtime broken", res.LinkBytes)
+	}
+}
+
+// TestDRAMTrafficAccounted: every DRAM byte is a multiple of the line
+// size or a bulk flush, and total DRAM traffic at least covers the
+// compulsory misses of the footprint touched.
+func TestDRAMTrafficAccounted(t *testing.T) {
+	spec, _ := workload.ByName("Rodinia-Hotspot")
+	cfg := arch.TestConfig()
+	sys := core.MustSystem(cfg)
+	res := sys.Run(spec.Program(workload.Options{IterScale: 0.2, MaxCTAs: 64}))
+	if res.DRAMBytes == 0 {
+		t.Fatal("no DRAM traffic recorded")
+	}
+	if res.DRAMBytes%arch.LineSize != 0 {
+		t.Fatalf("DRAM bytes %d not line-aligned", res.DRAMBytes)
+	}
+}
+
+// TestRemoteFractionMatchesPlacement: under page interleave on N
+// sockets, (N-1)/N of accesses are remote regardless of scheduling.
+func TestRemoteFractionMatchesPlacement(t *testing.T) {
+	spec, _ := workload.ByName("Rodinia-Srad")
+	for _, sockets := range []int{2, 4} {
+		cfg := arch.TestConfig().WithSockets(sockets)
+		cfg.Placement = arch.PlacePageInterleave
+		sys := core.MustSystem(cfg)
+		res := sys.Run(spec.Program(workload.Options{IterScale: 0.15, MaxCTAs: 64}))
+		want := float64(sockets-1) / float64(sockets)
+		if res.RemoteAccessFraction < want-0.08 || res.RemoteAccessFraction > want+0.08 {
+			t.Fatalf("%d sockets: remote fraction %.3f, want ≈%.2f",
+				sockets, res.RemoteAccessFraction, want)
+		}
+	}
+}
+
+// TestCoherenceFlushCostVisible: the hypothetical no-invalidate L2
+// (Figure 9) can never be slower than the real SW-coherent one on a
+// multi-kernel workload.
+func TestCoherenceFlushCostVisible(t *testing.T) {
+	spec, _ := workload.ByName("HPC-HPGMG") // 7 kernels, heavy local reuse
+	base := arch.TestConfig()
+	base.CacheMode = arch.CacheNUMAAware
+	real := core.MustSystem(base).Run(spec.Program(workload.Options{IterScale: 0.3, MaxCTAs: 96}))
+	hyp := base
+	hyp.NoL2Invalidate = true
+	ideal := core.MustSystem(hyp).Run(spec.Program(workload.Options{IterScale: 0.3, MaxCTAs: 96}))
+	if ideal.Cycles > real.Cycles {
+		t.Fatalf("no-invalidate L2 slower than SW coherence: %d > %d", ideal.Cycles, real.Cycles)
+	}
+}

@@ -1,0 +1,363 @@
+// Package core is the paper's primary contribution assembled into a
+// single programmer-transparent NUMA GPU: a multi-socket system built
+// from gpu.Sockets joined by an xlink.Fabric, driven by a locality-
+// optimized runtime that decomposes each kernel into per-socket CTA
+// blocks, performs software coherence at kernel boundaries, and runs
+// the two adaptive mechanisms of Milic et al. (MICRO 2017): the dynamic
+// asymmetric link balancer and the NUMA-aware cache partitioner.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/smcore"
+	"repro/internal/stats"
+	"repro/internal/vmm"
+	"repro/internal/xlink"
+)
+
+// Kernel is one GPU kernel of a workload: a grid of CTAs, each with a
+// fixed number of warps, whose instruction streams the system executes
+// to completion with a global synchronization (and software coherence
+// flush) at the end.
+type Kernel interface {
+	Name() string
+	CTAs() int
+	WarpsPerCTA() int
+	// Warp returns the instruction stream of warp w of CTA c.
+	Warp(c, w int) smcore.InstrStream
+}
+
+// Program is a complete workload: an optional memory setup hook (for
+// pre-placed buffers, e.g. data first-touched by an earlier phase) and
+// a sequence of kernels executed back to back.
+type Program struct {
+	Name    string
+	Setup   func(m *vmm.Memory)
+	Kernels []Kernel
+}
+
+// System is the single logical NUMA GPU exposed to the programmer.
+type System struct {
+	eng     *sim.Engine
+	cfg     arch.Config
+	mem     *vmm.Memory
+	fabric  *xlink.Fabric // nil when Sockets == 1
+	sockets []*gpu.Socket
+	drain   *gpu.Drain
+
+	balancers   []*xlink.Balancer
+	partitions  []*gpu.PartitionController
+	profiler    *linkProfiler
+	kernels     []Kernel
+	kernelIdx   int
+	socketsLeft int
+	kernelStart sim.Time
+	kernelMarks []sim.Time
+	kernelTimes []uint64
+	endTime     sim.Time
+	finished    bool
+}
+
+// NewSystem builds a NUMA GPU from cfg.
+func NewSystem(cfg arch.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		eng:   sim.New(),
+		cfg:   cfg,
+		mem:   vmm.New(cfg.Sockets, cfg.Placement),
+		drain: &gpu.Drain{},
+	}
+	if cfg.Sockets > 1 {
+		s.fabric = xlink.NewFabric(s.eng, cfg)
+	}
+	for i := 0; i < cfg.Sockets; i++ {
+		var link *xlink.Link
+		if s.fabric != nil {
+			link = s.fabric.Link(arch.SocketID(i))
+		}
+		sock := gpu.NewSocket(s.eng, cfg, arch.SocketID(i), s.mem, s, link, s.drain, s.onSocketDone)
+		s.sockets = append(s.sockets, sock)
+	}
+	return s, nil
+}
+
+// MustSystem is NewSystem that panics on config errors; for examples
+// and tests with known-good configurations.
+func MustSystem(cfg arch.Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Engine exposes the simulation engine (examples, tests).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Config reports the system configuration.
+func (s *System) Config() arch.Config { return s.cfg }
+
+// Memory exposes the unified virtual memory map.
+func (s *System) Memory() *vmm.Memory { return s.mem }
+
+// Socket exposes socket i.
+func (s *System) Socket(i int) *gpu.Socket { return s.sockets[i] }
+
+// Fabric exposes the interconnect (nil for single-socket systems).
+func (s *System) Fabric() *xlink.Fabric { return s.fabric }
+
+// ---------------------------------------------------------------------
+// gpu.Remote implementation: traffic between sockets.
+// ---------------------------------------------------------------------
+
+// RemoteRead implements gpu.Remote: request to home, home-side service,
+// data response back.
+func (s *System) RemoteRead(src, home arch.SocketID, l arch.LineID, done func()) {
+	s.fabric.Route(src, home, s.cfg.RequestHeader, func(sim.Time) {
+		s.sockets[home].HomeRead(l, func() {
+			s.fabric.Route(home, src, arch.LineSize+s.cfg.ResponseHeader, func(sim.Time) { done() })
+		})
+	})
+}
+
+// RemoteWrite implements gpu.Remote: full line to home, small ack back.
+func (s *System) RemoteWrite(src, home arch.SocketID, l arch.LineID, done func()) {
+	s.fabric.Route(src, home, arch.LineSize+s.cfg.RequestHeader, func(sim.Time) {
+		s.sockets[home].HomeWrite(l, func() {
+			s.fabric.Route(home, src, s.cfg.RequestHeader, func(sim.Time) {
+				if done != nil {
+					done()
+				}
+			})
+		})
+	})
+}
+
+// RemoteWriteBulk implements gpu.Remote for aggregated flush bursts.
+func (s *System) RemoteWriteBulk(src, home arch.SocketID, n int, done func()) {
+	size := n*arch.LineSize + s.cfg.RequestHeader
+	s.fabric.Route(src, home, size, func(sim.Time) {
+		s.sockets[home].HomeWriteBulk(n, func() {
+			s.fabric.Route(home, src, s.cfg.RequestHeader, func(sim.Time) {
+				if done != nil {
+					done()
+				}
+			})
+		})
+	})
+}
+
+// ---------------------------------------------------------------------
+// Runtime: kernel decomposition, launch, coherence, completion.
+// ---------------------------------------------------------------------
+
+// Run executes prog to completion and returns its measurements. A
+// System is single-use: build a fresh one per run.
+func (s *System) Run(prog Program) Result {
+	if s.finished || s.kernels != nil {
+		panic("core: System is single-use; construct a new one per Run")
+	}
+	if prog.Setup != nil {
+		prog.Setup(s.mem)
+	}
+	s.kernels = prog.Kernels
+	s.startPolicies()
+	s.launchNext()
+	s.eng.Run()
+	if !s.finished {
+		msg := fmt.Sprintf("core: simulation deadlocked: kernel %d/%d, socketsLeft=%d, drain=%d",
+			s.kernelIdx, len(s.kernels), s.socketsLeft, s.drain.Outstanding())
+		for i, sock := range s.sockets {
+			msg += fmt.Sprintf("; sock%d idle=%v", i, sock.Idle())
+		}
+		panic(msg)
+	}
+	return s.collect(prog.Name)
+}
+
+func (s *System) startPolicies() {
+	if s.fabric != nil && s.cfg.LinkMode == arch.LinkDynamic {
+		for i := 0; i < s.fabric.NumLinks(); i++ {
+			b := xlink.NewBalancer(s.fabric.Link(arch.SocketID(i)), s.cfg.LinkSampleTime)
+			b.Start(s.eng)
+			s.balancers = append(s.balancers, b)
+		}
+	}
+	if s.cfg.CacheMode == arch.CacheNUMAAware && s.cfg.Sockets > 1 {
+		for _, sock := range s.sockets {
+			p := gpu.NewPartitionController(sock, s.cfg.CacheSampleTime)
+			p.Start(s.eng)
+			s.partitions = append(s.partitions, p)
+		}
+	}
+	if s.profiler != nil {
+		s.profiler.start(s.eng)
+	}
+}
+
+func (s *System) stopPolicies() {
+	for _, b := range s.balancers {
+		b.Stop()
+	}
+	for _, p := range s.partitions {
+		p.Stop()
+	}
+	if s.profiler != nil {
+		s.profiler.stopped = true
+	}
+}
+
+// launchNext flushes the previous kernel's coherence state, waits for
+// the drain, then launches the next kernel (or finalizes the run).
+func (s *System) launchNext() {
+	for _, sock := range s.sockets {
+		if s.kernelIdx < len(s.kernels) {
+			sock.FlushCaches()
+		} else {
+			sock.FlushAll()
+		}
+	}
+	s.drain.WhenIdle(func() {
+		now := s.eng.Now()
+		if s.kernelIdx >= len(s.kernels) {
+			s.endTime = now
+			s.finished = true
+			s.stopPolicies()
+			return
+		}
+		k := s.kernels[s.kernelIdx]
+		if s.fabric != nil {
+			s.fabric.ResetSymmetric(now)
+		}
+		for _, b := range s.balancers {
+			b.ResetState()
+		}
+		for _, sock := range s.sockets {
+			sock.ResetForKernel(now)
+		}
+		s.kernelMarks = append(s.kernelMarks, now)
+		s.kernelStart = now
+		s.socketsLeft = len(s.sockets)
+		for i, ctas := range s.partitionCTAs(k) {
+			s.sockets[i].EnqueueKernel(ctas)
+		}
+	})
+}
+
+// partitionCTAs decomposes kernel k into per-socket CTA lists per the
+// configured scheduling policy (Section 3).
+func (s *System) partitionCTAs(k Kernel) [][]smcore.CTA {
+	n := s.cfg.Sockets
+	out := make([][]smcore.CTA, n)
+	total := k.CTAs()
+	warps := k.WarpsPerCTA()
+	build := func(c int) smcore.CTA {
+		cta := smcore.CTA{ID: c, Warps: make([]smcore.InstrStream, warps)}
+		for w := 0; w < warps; w++ {
+			cta.Warps[w] = k.Warp(c, w)
+		}
+		return cta
+	}
+	switch s.cfg.Sched {
+	case arch.SchedFineGrain:
+		for c := 0; c < total; c++ {
+			sock := c % n
+			out[sock] = append(out[sock], build(c))
+		}
+	default: // SchedBlock
+		for sock := 0; sock < n; sock++ {
+			lo := sock * total / n
+			hi := (sock + 1) * total / n
+			for c := lo; c < hi; c++ {
+				out[sock] = append(out[sock], build(c))
+			}
+		}
+	}
+	return out
+}
+
+func (s *System) onSocketDone(arch.SocketID) {
+	s.socketsLeft--
+	if s.socketsLeft > 0 {
+		return
+	}
+	// Kernel complete (all CTAs retired on all sockets).
+	s.kernelTimes = append(s.kernelTimes, uint64(s.eng.Now()-s.kernelStart))
+	s.kernelIdx++
+	s.launchNext()
+}
+
+// ---------------------------------------------------------------------
+// Link profiling (Figure 5).
+// ---------------------------------------------------------------------
+
+// LinkProfile is the recorded utilization time series of one socket's
+// link, normalized to the symmetric per-direction capacity.
+type LinkProfile struct {
+	Socket  arch.SocketID
+	Egress  stats.Series
+	Ingress stats.Series
+}
+
+type linkProfiler struct {
+	sys     *System
+	window  sim.Time
+	stopped bool
+	prof    []LinkProfile
+}
+
+// EnableLinkProfile records per-window link utilization for every
+// socket (call before Run). window is the sampling period in cycles.
+func (s *System) EnableLinkProfile(window int) {
+	if window < 1 {
+		window = 1
+	}
+	p := &linkProfiler{sys: s, window: sim.Time(window)}
+	for i := range s.sockets {
+		p.prof = append(p.prof, LinkProfile{Socket: arch.SocketID(i)})
+	}
+	s.profiler = p
+}
+
+func (p *linkProfiler) start(eng *sim.Engine) {
+	if p.sys.fabric == nil {
+		return
+	}
+	for i := range p.prof {
+		p.sys.fabric.Link(arch.SocketID(i)).ResetProfileWindow(eng.Now())
+	}
+	var tick sim.Event
+	tick = func(now sim.Time) {
+		if p.stopped {
+			return
+		}
+		for i := range p.prof {
+			l := p.sys.fabric.Link(arch.SocketID(i))
+			p.prof[i].Egress.Record(now, l.ProfileUtilization(xlink.Egress, now))
+			p.prof[i].Ingress.Record(now, l.ProfileUtilization(xlink.Ingress, now))
+			l.ResetProfileWindow(now)
+		}
+		eng.Schedule(p.window, tick)
+	}
+	eng.Schedule(p.window, tick)
+}
+
+// LinkProfiles returns the recorded profiles (after Run) along with the
+// kernel launch times for Figure 5's vertical markers.
+func (s *System) LinkProfiles() ([]LinkProfile, []sim.Time) {
+	if s.profiler == nil {
+		return nil, s.kernelMarks
+	}
+	return s.profiler.prof, s.kernelMarks
+}
+
+func (s *System) String() string {
+	return fmt.Sprintf("NUMA-GPU{%d sockets × %d SMs, %s, %s, %s, %s}",
+		s.cfg.Sockets, s.cfg.SMsPerSocket, s.cfg.Sched, s.cfg.Placement, s.cfg.CacheMode, s.cfg.LinkMode)
+}

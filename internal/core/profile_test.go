@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xlink"
+)
+
+// TestLinkProfileAlignment: all sockets' profiles sample the same
+// window boundaries, and kernel marks fall within the run.
+func TestLinkProfileAlignment(t *testing.T) {
+	spec, _ := workload.ByName("HPC-HPGMG-UVM")
+	cfg := arch.TestConfig()
+	sys := core.MustSystem(cfg)
+	sys.EnableLinkProfile(400)
+	res := sys.Run(spec.Program(workload.Options{IterScale: 0.2, MaxCTAs: 64}))
+	profiles, marks := sys.LinkProfiles()
+	if len(profiles) != cfg.Sockets {
+		t.Fatalf("profiles %d, want %d", len(profiles), cfg.Sockets)
+	}
+	n := len(profiles[0].Egress.Samples)
+	for _, p := range profiles {
+		if len(p.Egress.Samples) != n || len(p.Ingress.Samples) != n {
+			t.Fatal("profile lengths differ across sockets")
+		}
+		for i := range p.Egress.Samples {
+			if p.Egress.Samples[i].At != profiles[0].Egress.Samples[i].At {
+				t.Fatal("window boundaries differ across sockets")
+			}
+		}
+	}
+	for _, m := range marks {
+		if uint64(m) > res.Cycles {
+			t.Fatalf("kernel mark %d beyond end of run %d", m, res.Cycles)
+		}
+	}
+}
+
+// TestGatherPhaseAsymmetry: during HPGMG-UVM's gather phases, socket 0
+// receives much more than it sends (writers target its memory), while
+// sockets 1-3 send more than they receive — the Figure 5 phenomenon at
+// whole-run granularity.
+func TestGatherPhaseAsymmetry(t *testing.T) {
+	spec, _ := workload.ByName("HPC-HPGMG-UVM")
+	cfg := arch.TestConfig()
+	sys := core.MustSystem(cfg)
+	sys.Run(spec.Program(workload.Options{IterScale: 0.3, MaxCTAs: 96}))
+	l0 := sys.Socket(0).Link()
+	in0 := l0.Sent[xlink.Ingress].Value()
+	eg0 := l0.Sent[xlink.Egress].Value()
+	if in0 <= eg0 {
+		t.Fatalf("socket 0 should be a net receiver: ingress %d vs egress %d", in0, eg0)
+	}
+	l1 := sys.Socket(1).Link()
+	if l1.Sent[xlink.Egress].Value() <= l1.Sent[xlink.Ingress].Value() {
+		t.Fatalf("socket 1 should be a net sender: egress %d vs ingress %d",
+			l1.Sent[xlink.Egress].Value(), l1.Sent[xlink.Ingress].Value())
+	}
+}
+
+// TestDynamicLinksHelpGatherWorkload: on a strongly asymmetric
+// workload the balancer must not lose to static links.
+func TestDynamicLinksHelpGatherWorkload(t *testing.T) {
+	spec, _ := workload.ByName("ML-AlexNet-cudnn-Lev2")
+	opts := workload.Options{IterScale: 0.4, MaxCTAs: 128}
+	run := func(mode arch.LinkMode) core.Result {
+		cfg := arch.TestConfig()
+		cfg.LinkMode = mode
+		return core.MustSystem(cfg).Run(spec.Program(opts))
+	}
+	static := run(arch.LinkStatic)
+	dynamic := run(arch.LinkDynamic)
+	if dynamic.LaneTurns == 0 {
+		t.Fatal("balancer never engaged on a gather workload")
+	}
+	if float64(dynamic.Cycles) > 1.02*float64(static.Cycles) {
+		t.Fatalf("dynamic links slower on gather workload: %d vs %d", dynamic.Cycles, static.Cycles)
+	}
+}
+
+// TestNUMAAwareCachingHelpsTableWorkload: RSBench-style shared-table
+// lookups must speed up substantially with NUMA-aware caching.
+func TestNUMAAwareCachingHelpsTableWorkload(t *testing.T) {
+	spec, _ := workload.ByName("HPC-RSBench")
+	opts := workload.Options{IterScale: 0.15}
+	run := func(mode arch.CacheMode) core.Result {
+		// The 1/8-scale machine: its L2s can actually hold the shared
+		// table once the partitioner biases ways toward remote data
+		// (the tiny TestConfig caches cannot, making the mechanism moot).
+		cfg := arch.ScaledConfig(8)
+		cfg.CacheSampleTime = 2000
+		cfg.CacheMode = mode
+		return core.MustSystem(cfg).Run(spec.Program(opts))
+	}
+	base := run(arch.CacheMemSideLocal)
+	numa := run(arch.CacheNUMAAware)
+	sp := numa.SpeedupOver(base)
+	if sp < 1.3 {
+		t.Fatalf("NUMA-aware caching speedup %.2f on RSBench, want > 1.3", sp)
+	}
+	if numa.LinkBytes >= base.LinkBytes {
+		t.Fatal("remote caching must reduce interconnect traffic")
+	}
+}

@@ -1,0 +1,156 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure of Milic et al. (MICRO 2017), each returning a rendered text
+// table plus a machine-readable summary used by the benchmark suite and
+// EXPERIMENTS.md. Runs are memoized so shared baselines (e.g. the
+// single-GPU reference) are simulated once per harness.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options sizes the harness.
+type Options struct {
+	// Divisor scales per-socket architecture resources relative to the
+	// paper machine (see arch.ScaledConfig). Default 8.
+	Divisor int
+	// IterScale scales workload iteration counts. Default 1.0.
+	IterScale float64
+	// MaxCTAs caps grid sizes (0 = uncapped).
+	MaxCTAs int
+	// Workloads overrides the evaluated set (default: workload.Table()).
+	Workloads []workload.Spec
+	// Progress, when non-nil, receives one line per simulation run.
+	Progress io.Writer
+}
+
+// DefaultOptions is the reference harness size (minutes for the full
+// suite on a laptop).
+func DefaultOptions() Options {
+	return Options{Divisor: 8, IterScale: 1}
+}
+
+// QuickOptions is a reduced size for benchmarks and CI.
+func QuickOptions() Options {
+	return Options{Divisor: 8, IterScale: 0.25}
+}
+
+func (o Options) normalized() Options {
+	if o.Divisor < 1 {
+		o.Divisor = 8
+	}
+	if o.IterScale <= 0 {
+		o.IterScale = 1
+	}
+	if o.Workloads == nil {
+		o.Workloads = workload.Table()
+	}
+	return o
+}
+
+func (o Options) workloadOptions() workload.Options {
+	return workload.Options{IterScale: o.IterScale, MaxCTAs: o.MaxCTAs}
+}
+
+// Result couples a printable table with the headline numbers of one
+// experiment.
+type Result struct {
+	Table   *stats.Table
+	Summary map[string]float64
+}
+
+// Runner executes and memoizes simulation runs for the harness.
+type Runner struct {
+	opts Options
+	memo map[string]core.Result
+}
+
+// NewRunner builds a harness with the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts.normalized(), memo: make(map[string]core.Result)}
+}
+
+// Options reports the normalized options in use.
+func (r *Runner) Options() Options { return r.opts }
+
+// Base returns the locality-optimized software baseline the paper
+// builds everything on: contiguous-block scheduling, first-touch
+// placement, memory-side L2, static symmetric links.
+func (r *Runner) Base(sockets int) arch.Config {
+	c := arch.ScaledConfig(r.opts.Divisor)
+	c.Sockets = sockets
+	c.Sched = arch.SchedBlock
+	c.Placement = arch.PlaceFirstTouch
+	c.CacheMode = arch.CacheMemSideLocal
+	c.LinkMode = arch.LinkStatic
+	return c
+}
+
+// Traditional returns the single-GPU policies naively extended to a
+// multi-socket GPU (fine-grain CTA interleave + fine-grain memory
+// interleave): the green bars of Figure 3.
+func (r *Runner) Traditional(sockets int) arch.Config {
+	c := r.Base(sockets)
+	c.Sched = arch.SchedFineGrain
+	c.Placement = arch.PlaceFineInterleave
+	return c
+}
+
+// NUMAAware returns the paper's full proposal: dynamic asymmetric links
+// plus NUMA-aware L1/L2 partitioning on the locality runtime.
+func (r *Runner) NUMAAware(sockets int) arch.Config {
+	c := r.Base(sockets)
+	c.CacheMode = arch.CacheNUMAAware
+	c.LinkMode = arch.LinkDynamic
+	return c
+}
+
+// Monolithic returns the hypothetical factor× larger single GPU.
+func (r *Runner) Monolithic(factor int) arch.Config {
+	return r.Base(1).Monolithic(factor)
+}
+
+func cfgKey(c arch.Config) string {
+	return fmt.Sprintf("s%d.sm%d.l2%d.dram%g.lane%g/%d.sched%d.place%d.cache%d.link%d.wt%v.noinv%v.st%d.ct%d.lt%d",
+		c.Sockets, c.SMsPerSocket, c.L2Bytes, c.DRAMBandwidth, c.LaneBandwidth, c.LanesPerDir,
+		c.Sched, c.Placement, c.CacheMode, c.LinkMode, c.L2WriteThrough, c.NoL2Invalidate,
+		c.LinkSampleTime, c.CacheSampleTime, c.LaneSwitchTime)
+}
+
+// Run simulates spec under cfg (memoized).
+func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
+	key := cfgKey(cfg) + "|" + spec.Name
+	if res, ok := r.memo[key]; ok {
+		return res
+	}
+	sys := core.MustSystem(cfg)
+	res := sys.Run(spec.Program(r.opts.workloadOptions()))
+	res.Name = spec.Name
+	r.memo[key] = res
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, "ran %-28s %-60s %12d cycles\n", spec.Name, cfgKey(cfg), res.Cycles)
+	}
+	return res
+}
+
+// Single returns the single-GPU reference run for spec (memoized).
+func (r *Runner) Single(spec workload.Spec) core.Result {
+	return r.Run(r.Base(1), spec)
+}
+
+// evaluated filters the configured workload set to the non-grey 32.
+func (r *Runner) evaluated() []workload.Spec {
+	var out []workload.Spec
+	for _, s := range r.opts.Workloads {
+		if !s.Grey {
+			out = append(out, s)
+		}
+	}
+	return out
+}

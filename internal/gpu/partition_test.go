@@ -1,0 +1,179 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/xlink"
+)
+
+// partHarness builds a NUMA-aware socket whose meters the test feeds
+// directly, bypassing simulation, to exercise the Figure 7(d) policy.
+type partHarness struct {
+	h  *harness
+	pc *PartitionController
+	at sim.Time
+}
+
+func newPartHarness(t *testing.T) *partHarness {
+	h := newHarness(t, arch.CacheNUMAAware)
+	return &partHarness{h: h, pc: NewPartitionController(h.sock, 1000)}
+}
+
+// step feeds one window of synthetic demand: reqBytes of outgoing
+// remote read requests and dramBytes of local DRAM traffic.
+func (p *partHarness) step(reqBytes, dramBytes uint64) {
+	p.h.sock.remoteReqs.Add(reqBytes)
+	p.h.sock.remoteResp.Add(reqBytes)
+	p.h.sock.dram.Bytes.Add(dramBytes)
+	p.at += 1000
+	p.pc.Step(p.at)
+}
+
+func TestPartitionShiftsTowardRemote(t *testing.T) {
+	p := newPartHarness(t)
+	l2 := p.h.sock.L2()
+	start := l2.Ways(mem.ClassRemote)
+	// Ingress capacity at TestConfig: 8 lanes × 0.5 B/c = 4 B/c →
+	// window capacity 4000B. Saturate the estimated incoming bandwidth
+	// while DRAM stays idle.
+	for i := 0; i < 5; i++ {
+		p.step(4000, 0)
+	}
+	if l2.Ways(mem.ClassRemote) <= start {
+		t.Fatalf("remote ways %d, want > %d after link saturation", l2.Ways(mem.ClassRemote), start)
+	}
+	if p.pc.Shifts.Value() == 0 {
+		t.Fatal("shift counter must advance")
+	}
+}
+
+func TestPartitionShiftsTowardLocal(t *testing.T) {
+	p := newPartHarness(t)
+	l2 := p.h.sock.L2()
+	start := l2.Ways(mem.ClassLocal)
+	// DRAM at TestConfig: 8 B/c... window capacity = bandwidth × 1000.
+	cap := uint64(p.h.sock.DRAM().Bandwidth() * 1000)
+	for i := 0; i < 5; i++ {
+		p.step(0, cap)
+	}
+	if l2.Ways(mem.ClassLocal) <= start {
+		t.Fatalf("local ways %d, want > %d after DRAM saturation", l2.Ways(mem.ClassLocal), start)
+	}
+}
+
+func TestPartitionEqualizesWhenBothSaturate(t *testing.T) {
+	p := newPartHarness(t)
+	l2 := p.h.sock.L2()
+	// Skew remote first.
+	for i := 0; i < 6; i++ {
+		p.step(4000, 0)
+	}
+	skewed := l2.Ways(mem.ClassRemote)
+	if skewed <= p.h.cfg.L2Assoc/2 {
+		t.Fatal("precondition: no skew")
+	}
+	dramCap := uint64(p.h.sock.DRAM().Bandwidth() * 1000)
+	for i := 0; i < 20; i++ {
+		p.step(4000, dramCap)
+	}
+	diff := l2.Ways(mem.ClassRemote) - l2.Ways(mem.ClassLocal)
+	if diff < -1 || diff > 1 {
+		t.Fatalf("ways not equalized: local=%d remote=%d", l2.Ways(mem.ClassLocal), l2.Ways(mem.ClassRemote))
+	}
+}
+
+func TestPartitionDoesNothingWhenIdle(t *testing.T) {
+	p := newPartHarness(t)
+	for i := 0; i < 5; i++ {
+		p.step(10, 10)
+	}
+	if p.pc.Shifts.Value() != 0 {
+		t.Fatal("idle socket must not repartition")
+	}
+}
+
+func TestPartitionRespectsMinimumWays(t *testing.T) {
+	p := newPartHarness(t)
+	l2 := p.h.sock.L2()
+	for i := 0; i < 100; i++ {
+		p.step(4000, 0)
+	}
+	if l2.Ways(mem.ClassLocal) < 1 {
+		t.Fatal("starvation guard violated in L2")
+	}
+	for i := range p.h.sock.l1s {
+		if p.h.sock.l1s[i].Ways(mem.ClassLocal) < 1 {
+			t.Fatalf("starvation guard violated in L1 %d", i)
+		}
+	}
+}
+
+func TestPartitionShiftsL1Too(t *testing.T) {
+	p := newPartHarness(t)
+	l1 := p.h.sock.L1(0)
+	start := l1.Ways(mem.ClassRemote)
+	for i := 0; i < 5; i++ {
+		p.step(4000, 0)
+	}
+	if l1.Ways(mem.ClassRemote) <= start {
+		t.Fatalf("L1 remote ways %d, want > %d (mode d partitions L1 too)", l1.Ways(mem.ClassRemote), start)
+	}
+}
+
+func TestPartitionInactiveForOtherModes(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	pc := NewPartitionController(h.sock, 1000)
+	h.sock.remoteReqs.Add(1 << 20)
+	pc.Step(1000)
+	if pc.Shifts.Value() != 0 {
+		t.Fatal("controller must be inert outside NUMA-aware mode")
+	}
+}
+
+func TestPartitionStartStopDrains(t *testing.T) {
+	h := newHarness(t, arch.CacheNUMAAware)
+	pc := NewPartitionController(h.sock, 500)
+	pc.Start(h.eng)
+	h.eng.RunUntil(2000)
+	pc.Stop()
+	h.eng.Run()
+	if h.eng.Pending() != 0 {
+		t.Fatal("stopped controller left events queued")
+	}
+	if pc.Decisions.Value() == 0 {
+		t.Fatal("controller never sampled")
+	}
+}
+
+func TestResetForKernelRestoresPartition(t *testing.T) {
+	p := newPartHarness(t)
+	l2 := p.h.sock.L2()
+	for i := 0; i < 6; i++ {
+		p.step(4000, 0)
+	}
+	if l2.Ways(mem.ClassRemote) == p.h.cfg.L2Assoc/2 {
+		t.Fatal("precondition: no skew")
+	}
+	p.h.sock.ResetForKernel(p.at)
+	if l2.Ways(mem.ClassRemote) != p.h.cfg.L2Assoc/2 {
+		t.Fatalf("kernel launch must restore the 50/50 split (Step 0), got %d remote ways",
+			l2.Ways(mem.ClassRemote))
+	}
+}
+
+func TestStaticPartitionFixedSplit(t *testing.T) {
+	h := newHarness(t, arch.CacheStaticPartition)
+	l2 := h.sock.L2()
+	if l2.Ways(mem.ClassLocal) != h.cfg.L2Assoc/2 || l2.Ways(mem.ClassRemote) != h.cfg.L2Assoc/2 {
+		t.Fatal("static partition must be 50/50")
+	}
+	if h.sock.L1(0).Partitioned() {
+		t.Fatal("mode (b) must not partition the L1s")
+	}
+}
+
+// Quiet the unused import when tests are filtered.
+var _ = xlink.Egress

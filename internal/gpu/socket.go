@@ -1,0 +1,584 @@
+package gpu
+
+import (
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/smcore"
+	"repro/internal/stats"
+	"repro/internal/vmm"
+	"repro/internal/xlink"
+)
+
+// Remote is the socket's view of the rest of the system: routing of
+// read requests and writes to the home socket of a line. The core
+// package implements it on top of the switch fabric.
+type Remote interface {
+	// RemoteRead fetches line l from its home socket; done fires when
+	// the data response has arrived back at src.
+	RemoteRead(src, home arch.SocketID, l arch.LineID, done func())
+	// RemoteWrite pushes a full-line write to the home socket; done
+	// fires when the ack returns to src and may be nil.
+	RemoteWrite(src, home arch.SocketID, l arch.LineID, done func())
+	// RemoteWriteBulk pushes an aggregate of n dirty lines to the home
+	// socket in one burst (coherence flush traffic); done fires when
+	// the burst has drained at the home memory.
+	RemoteWriteBulk(src, home arch.SocketID, n int, done func())
+}
+
+type l2Waiter struct {
+	sm   int
+	done func()
+}
+
+// Socket is one GPU of the multi-socket system.
+type Socket struct {
+	eng    *sim.Engine
+	cfg    arch.Config
+	id     arch.SocketID
+	memMap *vmm.Memory
+	remote Remote
+	drain  *Drain
+	link   *xlink.Link // nil on monolithic single-GPU systems
+
+	SMs  []*smcore.SM
+	l1s  []*mem.Cache
+	xbar *noc.Crossbar
+	l2   *mem.Cache
+	dram *mem.DRAM
+
+	// MSHR-style merge tables.
+	l1Pending []map[arch.LineID][]func() // per SM
+	l2Pending map[arch.LineID][]l2Waiter // local lines fetching from DRAM
+	rmPending map[arch.LineID][]l2Waiter // remote lines fetching over the link
+
+	// CTA dispatch.
+	queue      []smcore.CTA
+	queueHead  int
+	ctasLeft   int
+	onAllDone  func(arch.SocketID)
+	dispatched stats.Counter
+
+	// Outgoing remote read requests and arriving read responses in the
+	// current cache-policy window; the Figure 7(d) algorithm estimates
+	// incoming bandwidth from them (requests capture projected demand,
+	// responses capture a standing backlog draining at line rate).
+	remoteReqs stats.Meter
+	remoteResp stats.Meter
+
+	// Statistics.
+	LoadsLocal   stats.Counter
+	LoadsRemote  stats.Counter
+	StoresLocal  stats.Counter
+	StoresRemote stats.Counter
+	FlushedLines stats.Counter
+}
+
+// NewSocket builds socket id of a system described by cfg. remote may
+// be nil only for single-socket systems. link is the socket's port into
+// the switch fabric (nil when Sockets == 1).
+func NewSocket(eng *sim.Engine, cfg arch.Config, id arch.SocketID, memMap *vmm.Memory, remote Remote, link *xlink.Link, drain *Drain, onAllDone func(arch.SocketID)) *Socket {
+	s := &Socket{
+		eng:       eng,
+		cfg:       cfg,
+		id:        id,
+		memMap:    memMap,
+		remote:    remote,
+		drain:     drain,
+		link:      link,
+		xbar:      noc.New(eng, cfg.NoCBandwidth, cfg.NoCLatency),
+		l2:        mem.NewCache(cfg.L2Bytes, cfg.L2Assoc),
+		dram:      mem.NewDRAM(eng, cfg.DRAMBandwidth, cfg.DRAMLatency),
+		l2Pending: make(map[arch.LineID][]l2Waiter),
+		rmPending: make(map[arch.LineID][]l2Waiter),
+		onAllDone: onAllDone,
+	}
+	for i := 0; i < cfg.SMsPerSocket; i++ {
+		s.l1s = append(s.l1s, mem.NewCache(cfg.L1Bytes, cfg.L1Assoc))
+		s.l1Pending = append(s.l1Pending, make(map[arch.LineID][]func()))
+		s.SMs = append(s.SMs, smcore.NewSM(eng, s, i, cfg.MaxWarpsPerSM, cfg.MaxCTAsPerSM, cfg.IssueWidth, s.onCTADone))
+	}
+	s.applyModePartitions()
+	return s
+}
+
+// applyModePartitions sets the L1/L2 way split demanded by the cache
+// mode: static 50/50 for mode (b)'s R$, dynamic-start 50/50 for mode
+// (d), unpartitioned otherwise.
+func (s *Socket) applyModePartitions() {
+	switch s.cfg.CacheMode {
+	case arch.CacheStaticPartition:
+		half := s.cfg.L2Assoc / 2
+		_ = s.l2.SetPartition(s.cfg.L2Assoc-half, half)
+	case arch.CacheNUMAAware:
+		half := s.cfg.L2Assoc / 2
+		_ = s.l2.SetPartition(s.cfg.L2Assoc-half, half)
+		for _, l1 := range s.l1s {
+			h := l1.Assoc() / 2
+			if h >= 1 && l1.Assoc()-h >= 1 {
+				_ = l1.SetPartition(l1.Assoc()-h, h)
+			}
+		}
+	default:
+		s.l2.ClearPartition()
+	}
+}
+
+// ID reports the socket's identity.
+func (s *Socket) ID() arch.SocketID { return s.id }
+
+// L2 exposes the shared cache (tests and the partition controller).
+func (s *Socket) L2() *mem.Cache { return s.l2 }
+
+// L1 exposes SM sm's private cache.
+func (s *Socket) L1(sm int) *mem.Cache { return s.l1s[sm] }
+
+// DRAM exposes the local memory.
+func (s *Socket) DRAM() *mem.DRAM { return s.dram }
+
+// Link exposes the socket's inter-GPU link (nil for single socket).
+func (s *Socket) Link() *xlink.Link { return s.link }
+
+// Crossbar exposes the intra-GPU NoC.
+func (s *Socket) Crossbar() *noc.Crossbar { return s.xbar }
+
+// classOf resolves the NUMA class and home socket of line l for this
+// socket, triggering first-touch placement when applicable.
+func (s *Socket) classOf(l arch.LineID) (mem.Class, arch.SocketID) {
+	home := s.memMap.Owner(l, s.id)
+	if home == s.id {
+		return mem.ClassLocal, home
+	}
+	return mem.ClassRemote, home
+}
+
+// cachesRemoteInL2 reports whether this cache mode holds remote lines
+// in the local L2 (modes b, c, d).
+func (s *Socket) cachesRemoteInL2() bool {
+	return s.cfg.CacheMode != arch.CacheMemSideLocal
+}
+
+// l2IsCoherent reports whether (part of) the L2 participates in the
+// SW coherence protocol and must be invalidated at kernel boundaries.
+func (s *Socket) l2IsCoherent() bool {
+	return s.cfg.CacheMode != arch.CacheMemSideLocal
+}
+
+// ---------------------------------------------------------------------
+// smcore.MemPort implementation: the SM-facing side.
+// ---------------------------------------------------------------------
+
+// Load issues a coalesced warp load from SM sm; done fires once every
+// line has been serviced.
+func (s *Socket) Load(sm int, lines []arch.LineID, done func()) {
+	if len(lines) == 0 {
+		s.eng.Schedule(1, func(sim.Time) { done() })
+		return
+	}
+	left := len(lines)
+	oneDone := func() {
+		left--
+		if left == 0 {
+			done()
+		}
+	}
+	for _, l := range lines {
+		s.loadLine(sm, l, oneDone)
+	}
+}
+
+func (s *Socket) loadLine(sm int, l arch.LineID, done func()) {
+	cl, home := s.classOf(l)
+	if cl == mem.ClassLocal {
+		s.LoadsLocal.Inc()
+	} else {
+		s.LoadsRemote.Inc()
+	}
+	l1 := s.l1s[sm]
+	if l1.Lookup(l, cl) {
+		s.eng.Schedule(sim.Time(s.cfg.L1Latency), func(sim.Time) { done() })
+		return
+	}
+	// L1 miss: merge with an outstanding miss to the same line.
+	if ws, ok := s.l1Pending[sm][l]; ok {
+		s.l1Pending[sm][l] = append(ws, done)
+		return
+	}
+	s.l1Pending[sm][l] = nil
+	fill := func() {
+		s.fillL1(sm, l, cl)
+		s.eng.Schedule(sim.Time(s.cfg.L1Latency), func(sim.Time) {
+			done()
+			for _, w := range s.l1Pending[sm][l] {
+				w()
+			}
+			delete(s.l1Pending[sm], l)
+		})
+	}
+	// Request crosses the NoC to the L2 complex.
+	s.xbar.Send(s.cfg.RequestHeader, func(sim.Time) {
+		if cl == mem.ClassLocal {
+			s.localL2Read(sm, l, fill)
+		} else {
+			s.remoteRead(sm, l, home, fill)
+		}
+	})
+}
+
+// fillL1 inserts a returned line into the SM's L1. Write-through L1s
+// never hold dirty data, so victims vanish silently.
+func (s *Socket) fillL1(sm int, l arch.LineID, cl mem.Class) {
+	s.l1s[sm].Fill(l, cl, false)
+}
+
+// localL2Read services a local-address read at the L2: hit → respond;
+// miss → DRAM fetch with MSHR merging, fill L2, respond.
+func (s *Socket) localL2Read(sm int, l arch.LineID, done func()) {
+	respond := func() {
+		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
+			s.xbar.Send(arch.LineSize, func(sim.Time) { done() })
+		})
+	}
+	if s.l2.Lookup(l, mem.ClassLocal) {
+		respond()
+		return
+	}
+	if ws, ok := s.l2Pending[l]; ok {
+		s.l2Pending[l] = append(ws, l2Waiter{sm: sm, done: done})
+		return
+	}
+	s.l2Pending[l] = nil
+	s.dram.Read(arch.LineSize, func(sim.Time) {
+		s.insertL2(l, mem.ClassLocal, false)
+		respond()
+		for _, w := range s.l2Pending[l] {
+			s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
+				ww := w
+				s.xbar.Send(arch.LineSize, func(sim.Time) { ww.done() })
+			})
+		}
+		delete(s.l2Pending, l)
+	})
+}
+
+// remoteRead services a remote-address read: in modes that cache remote
+// data the local L2 is consulted first and fills on return; in the
+// memory-side mode every request crosses the link.
+func (s *Socket) remoteRead(sm int, l arch.LineID, home arch.SocketID, done func()) {
+	if s.cachesRemoteInL2() {
+		respond := func() {
+			s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
+				s.xbar.Send(arch.LineSize, func(sim.Time) { done() })
+			})
+		}
+		if s.l2.Lookup(l, mem.ClassRemote) {
+			respond()
+			return
+		}
+		if ws, ok := s.rmPending[l]; ok {
+			s.rmPending[l] = append(ws, l2Waiter{sm: sm, done: done})
+			return
+		}
+		s.rmPending[l] = nil
+		s.countRemoteRead()
+		s.remote.RemoteRead(s.id, home, l, func() {
+			s.countRemoteResponse()
+			s.insertL2(l, mem.ClassRemote, false)
+			respond()
+			for _, w := range s.rmPending[l] {
+				ww := w
+				s.xbar.Send(arch.LineSize, func(sim.Time) { ww.done() })
+			}
+			delete(s.rmPending, l)
+		})
+		return
+	}
+	// Mode (a): bypass the local L2, no merging structure exists at the
+	// link endpoint, every L1 miss pays the full remote round trip.
+	s.countRemoteRead()
+	s.remote.RemoteRead(s.id, home, l, func() {
+		s.countRemoteResponse()
+		s.xbar.Send(arch.LineSize, func(sim.Time) { done() })
+	})
+}
+
+func (s *Socket) countRemoteRead() {
+	s.remoteReqs.Add(uint64(arch.LineSize + s.cfg.ResponseHeader))
+}
+
+func (s *Socket) countRemoteResponse() {
+	s.remoteResp.Add(uint64(arch.LineSize + s.cfg.ResponseHeader))
+}
+
+// insertL2 fills a line into the shared L2 handling victim writebacks:
+// dirty local victims drain to DRAM, dirty remote victims cross the
+// link to their home socket.
+func (s *Socket) insertL2(l arch.LineID, cl mem.Class, dirty bool) {
+	v, evicted := s.l2.Fill(l, cl, dirty)
+	if !evicted || !v.Dirty {
+		return
+	}
+	s.writebackVictim(v)
+}
+
+func (s *Socket) writebackVictim(v mem.Victim) {
+	if v.Class == mem.ClassLocal {
+		s.drain.Inc()
+		s.dram.Write(arch.LineSize, func(sim.Time) { s.drain.Dec() })
+		return
+	}
+	home, ok := s.memMap.Peek(v.Line)
+	if !ok || home == s.id {
+		// The page moved under us or the line is local after all;
+		// treat as a local writeback.
+		s.drain.Inc()
+		s.dram.Write(arch.LineSize, func(sim.Time) { s.drain.Dec() })
+		return
+	}
+	s.drain.Inc()
+	s.remote.RemoteWrite(s.id, home, v.Line, func() { s.drain.Dec() })
+}
+
+// Store retires a coalesced warp store from SM sm. Stores never block
+// the warp; their drain is tracked for kernel-boundary semantics.
+func (s *Socket) Store(sm int, lines []arch.LineID) {
+	for _, l := range lines {
+		s.storeLine(sm, l)
+	}
+}
+
+func (s *Socket) storeLine(sm int, l arch.LineID) {
+	cl, home := s.classOf(l)
+	if cl == mem.ClassLocal {
+		s.StoresLocal.Inc()
+	} else {
+		s.StoresRemote.Inc()
+	}
+	// Write-through, write-no-allocate L1: update on hit (stays clean,
+	// the data also goes below), no fill on miss.
+	l1 := s.l1s[sm]
+	if l1.Peek(l) {
+		l1.Fill(l, cl, false)
+	}
+	s.drain.Inc()
+	s.xbar.Send(arch.LineSize+s.cfg.RequestHeader, func(sim.Time) {
+		if cl == mem.ClassLocal {
+			// Write-allocate into the write-back L2 (coalesced warp
+			// stores cover full lines, so no fetch-on-write).
+			s.insertL2(l, mem.ClassLocal, true)
+			s.drain.Dec()
+			return
+		}
+		if s.cachesRemoteInL2() {
+			if s.cfg.L2WriteThrough {
+				// §5.2 sensitivity: line stays clean locally, data
+				// crosses the link immediately.
+				s.insertL2(l, mem.ClassRemote, false)
+				s.remote.RemoteWrite(s.id, home, l, func() { s.drain.Dec() })
+				return
+			}
+			s.insertL2(l, mem.ClassRemote, true)
+			s.drain.Dec()
+			return
+		}
+		// Mode (a): remote writes cross the link immediately.
+		s.remote.RemoteWrite(s.id, home, l, func() { s.drain.Dec() })
+	})
+}
+
+// ---------------------------------------------------------------------
+// Home-side servicing of requests arriving from other sockets.
+// ---------------------------------------------------------------------
+
+// HomeRead services a read request that arrived from another socket for
+// a line homed here; done fires when the data is ready to ship back.
+// Memory-side L2 portions (modes a and b) cache the access; GPU-side L2
+// organizations serve hits but do not allocate for remote requesters.
+func (s *Socket) HomeRead(l arch.LineID, done func()) {
+	if s.l2.Lookup(l, mem.ClassLocal) {
+		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) { done() })
+		return
+	}
+	memSide := s.cfg.CacheMode == arch.CacheMemSideLocal || s.cfg.CacheMode == arch.CacheStaticPartition
+	s.dram.Read(arch.LineSize, func(sim.Time) {
+		if memSide {
+			s.insertL2(l, mem.ClassLocal, false)
+		}
+		done()
+	})
+}
+
+// HomeWrite applies a full-line write arriving from another socket;
+// done fires when it is safe to ack.
+func (s *Socket) HomeWrite(l arch.LineID, done func()) {
+	memSide := s.cfg.CacheMode == arch.CacheMemSideLocal || s.cfg.CacheMode == arch.CacheStaticPartition
+	if memSide {
+		s.insertL2(l, mem.ClassLocal, true)
+		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) { done() })
+		return
+	}
+	if s.l2.MarkDirty(l) {
+		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) { done() })
+		return
+	}
+	s.dram.Write(arch.LineSize, func(sim.Time) { done() })
+}
+
+// HomeWriteBulk drains an aggregate flush burst of n lines into DRAM.
+func (s *Socket) HomeWriteBulk(n int, done func()) {
+	s.dram.Write(n*arch.LineSize, func(sim.Time) { done() })
+}
+
+// ---------------------------------------------------------------------
+// CTA dispatch.
+// ---------------------------------------------------------------------
+
+// EnqueueKernel queues the socket's share of a kernel's CTAs and begins
+// dispatching them to SMs. An empty share completes immediately.
+func (s *Socket) EnqueueKernel(ctas []smcore.CTA) {
+	s.queue = ctas
+	s.queueHead = 0
+	s.ctasLeft = len(ctas)
+	if s.ctasLeft == 0 {
+		// No work for this socket in this kernel.
+		s.eng.Schedule(1, func(sim.Time) { s.onAllDone(s.id) })
+		return
+	}
+	for _, sm := range s.SMs {
+		s.fillSM(sm)
+	}
+}
+
+func (s *Socket) fillSM(sm *smcore.SM) {
+	for s.queueHead < len(s.queue) && sm.CanAccept(len(s.queue[s.queueHead].Warps)) {
+		sm.Launch(s.queue[s.queueHead])
+		s.queueHead++
+		s.dispatched.Inc()
+	}
+}
+
+func (s *Socket) onCTADone(smID, ctaID int) {
+	s.ctasLeft--
+	s.fillSM(s.SMs[smID])
+	if s.ctasLeft == 0 {
+		s.queue = nil
+		s.onAllDone(s.id)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Coherence flush at kernel boundaries (Section 5).
+// ---------------------------------------------------------------------
+
+// FlushCaches performs the software coherence actions of a kernel
+// boundary: bulk-invalidate every L1, and — when the L2 participates in
+// coherence — invalidate its coherent portion, draining dirty lines to
+// their home memories. Dirty flush traffic is aggregated per
+// destination into bulk bursts. The caller waits on the shared Drain.
+func (s *Socket) FlushCaches() {
+	for _, l1 := range s.l1s {
+		l1.InvalidateAll(nil) // write-through: never dirty
+	}
+	if !s.l2IsCoherent() || s.cfg.NoL2Invalidate {
+		return
+	}
+	var keep func(mem.Class) bool
+	if s.cfg.CacheMode == arch.CacheStaticPartition {
+		// Only the R$ half is GPU-side coherent; the memory-side half
+		// survives kernel boundaries.
+		keep = func(cl mem.Class) bool { return cl == mem.ClassLocal }
+	}
+	dirty := s.l2.InvalidateAll(keep)
+	s.flushDirty(dirty)
+}
+
+// FlushAll force-invalidates everything including memory-side contents;
+// used at end of application so every configuration pays its residual
+// writeback debt.
+func (s *Socket) FlushAll() {
+	for _, l1 := range s.l1s {
+		l1.InvalidateAll(nil)
+	}
+	dirty := s.l2.InvalidateAll(nil)
+	s.flushDirty(dirty)
+}
+
+func (s *Socket) flushDirty(dirty []mem.Victim) {
+	if len(dirty) == 0 {
+		return
+	}
+	s.FlushedLines.Advance(uint64(len(dirty)))
+	localLines := 0
+	perHome := make(map[arch.SocketID]int)
+	for _, v := range dirty {
+		if v.Class == mem.ClassLocal {
+			localLines++
+			continue
+		}
+		home, ok := s.memMap.Peek(v.Line)
+		if !ok || home == s.id {
+			localLines++
+			continue
+		}
+		perHome[home]++
+	}
+	if localLines > 0 {
+		s.drain.Inc()
+		s.dram.Write(localLines*arch.LineSize, func(sim.Time) { s.drain.Dec() })
+	}
+	for home, n := range perHome {
+		s.drain.Inc()
+		s.remote.RemoteWriteBulk(s.id, home, n, func() { s.drain.Dec() })
+	}
+}
+
+// ResetForKernel re-arms per-kernel state: way partitions return to
+// their mode defaults (Step 0 of the Figure 7(d) algorithm) and the
+// policy sampling windows reopen.
+func (s *Socket) ResetForKernel(now sim.Time) {
+	s.applyModePartitions()
+	s.dram.ResetWindow(now)
+	s.remoteReqs.Reset(now)
+	s.remoteResp.Reset(now)
+}
+
+// RemoteReqWindow exposes the outgoing-read-request meter to the
+// partition controller.
+func (s *Socket) RemoteReqWindow() *stats.Meter { return &s.remoteReqs }
+
+// RemoteRespWindow exposes the arriving-read-response meter.
+func (s *Socket) RemoteRespWindow() *stats.Meter { return &s.remoteResp }
+
+// Idle reports whether the socket has no queued or resident work.
+func (s *Socket) Idle() bool {
+	if s.ctasLeft > 0 {
+		return false
+	}
+	for _, sm := range s.SMs {
+		if !sm.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// DebugPending reports outstanding miss-merge entries: summed L1
+// pending lines, local L2 pending, remote pending. Diagnostic only.
+func (s *Socket) DebugPending() (l1, l2, rm int) {
+	for _, m := range s.l1Pending {
+		l1 += len(m)
+	}
+	return l1, len(s.l2Pending), len(s.rmPending)
+}
+
+// DebugCTAs reports queued-but-undispatched and resident CTA counts.
+func (s *Socket) DebugCTAs() (queued, resident int) {
+	if s.queueHead < len(s.queue) {
+		queued = len(s.queue) - s.queueHead
+	}
+	for _, sm := range s.SMs {
+		resident += sm.ResidentCTAs()
+	}
+	return
+}

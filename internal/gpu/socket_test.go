@@ -1,0 +1,501 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+	"repro/internal/smcore"
+	"repro/internal/vmm"
+	"repro/internal/xlink"
+)
+
+// scriptStream replays a fixed instruction list for CTA dispatch tests.
+type scriptStream struct {
+	instrs []smcore.Instr
+	pos    int
+}
+
+func (s *scriptStream) Next(in *smcore.Instr) bool {
+	if s.pos >= len(s.instrs) {
+		return false
+	}
+	*in = s.instrs[s.pos]
+	s.pos++
+	return true
+}
+
+// makeCTAs builds n compute-only CTAs with the given warps and
+// instruction count each.
+func makeCTAs(n, warps, instrs int) []smcore.CTA {
+	var out []smcore.CTA
+	for c := 0; c < n; c++ {
+		cta := smcore.CTA{ID: c}
+		for w := 0; w < warps; w++ {
+			var list []smcore.Instr
+			for i := 0; i < instrs; i++ {
+				list = append(list, smcore.Instr{Comp: 2, Op: smcore.OpNone})
+			}
+			cta.Warps = append(cta.Warps, &scriptStream{instrs: list})
+		}
+		out = append(out, cta)
+	}
+	return out
+}
+
+// fakeRemote records remote traffic and services it with a fixed delay.
+type fakeRemote struct {
+	eng    *sim.Engine
+	reads  int
+	writes int
+	bulk   int
+}
+
+func (r *fakeRemote) RemoteRead(src, home arch.SocketID, l arch.LineID, done func()) {
+	r.reads++
+	r.eng.Schedule(300, func(sim.Time) { done() })
+}
+
+func (r *fakeRemote) RemoteWrite(src, home arch.SocketID, l arch.LineID, done func()) {
+	r.writes++
+	r.eng.Schedule(300, func(sim.Time) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (r *fakeRemote) RemoteWriteBulk(src, home arch.SocketID, n int, done func()) {
+	r.bulk += n
+	r.eng.Schedule(300, func(sim.Time) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+type harness struct {
+	eng    *sim.Engine
+	cfg    arch.Config
+	memMap *vmm.Memory
+	remote *fakeRemote
+	drain  *Drain
+	sock   *Socket
+}
+
+func newHarness(t *testing.T, mode arch.CacheMode) *harness {
+	t.Helper()
+	cfg := arch.TestConfig()
+	cfg.CacheMode = mode
+	eng := sim.New()
+	memMap := vmm.New(cfg.Sockets, arch.PlaceFirstTouch)
+	remote := &fakeRemote{eng: eng}
+	drain := &Drain{}
+	link := xlink.NewLink(eng, cfg.LanesPerDir, cfg.LaneBandwidth, cfg.LinkLatency, cfg.LaneSwitchTime)
+	sock := NewSocket(eng, cfg, 0, memMap, remote, link, drain, func(arch.SocketID) {})
+	return &harness{eng: eng, cfg: cfg, memMap: memMap, remote: remote, drain: drain, sock: sock}
+}
+
+// localLine returns a line homed on socket 0 (first touch by socket 0).
+func (h *harness) localLine(i int) arch.LineID {
+	l := arch.LineID(i * (arch.PageSize / arch.LineSize))
+	h.memMap.Owner(l, 0)
+	return l
+}
+
+// remoteLine returns a line homed on socket 1.
+func (h *harness) remoteLine(i int) arch.LineID {
+	l := arch.LineID((1000 + i) * (arch.PageSize / arch.LineSize))
+	h.memMap.Owner(l, 1)
+	return l
+}
+
+func TestLocalLoadMissAndHit(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(1)
+	done := 0
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if done != 1 {
+		t.Fatal("load must complete")
+	}
+	if h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatal("cold miss must reach DRAM")
+	}
+	// Second load: L1 hit, no new DRAM traffic.
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if done != 2 || h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatalf("L1 hit path broken: done=%d dramReads=%d", done, h.sock.DRAM().Reads.Value())
+	}
+	if h.sock.LoadsLocal.Value() != 2 || h.sock.LoadsRemote.Value() != 0 {
+		t.Fatal("locality counters wrong")
+	}
+}
+
+func TestL1MissMergesAcrossWarps(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(2)
+	done := 0
+	// Two concurrent loads to the same line from the same SM: one DRAM
+	// fetch, two completions.
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if done != 2 {
+		t.Fatalf("completions %d, want 2", done)
+	}
+	if h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatalf("DRAM reads %d, want 1 (MSHR merge)", h.sock.DRAM().Reads.Value())
+	}
+}
+
+func TestL2SharedAcrossSMs(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(3)
+	done := 0
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if done != 2 {
+		t.Fatal("loads must complete")
+	}
+	if h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatalf("second SM should hit in shared L2, DRAM reads %d", h.sock.DRAM().Reads.Value())
+	}
+}
+
+func TestRemoteLoadModeA(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.remoteLine(0)
+	done := 0
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if h.remote.reads != 1 {
+		t.Fatalf("remote reads %d, want 1", h.remote.reads)
+	}
+	// Memory-side mode: remote line is NOT in the local L2. A second
+	// load from a different SM crosses the link again.
+	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if h.remote.reads != 2 {
+		t.Fatalf("mode (a) must not cache remote in L2: remote reads %d, want 2", h.remote.reads)
+	}
+	// Same SM again: L1 holds it.
+	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if h.remote.reads != 2 {
+		t.Fatal("L1 must cache remote data in every mode")
+	}
+	if done != 3 {
+		t.Fatalf("completions %d", done)
+	}
+}
+
+func TestRemoteLoadCachedModes(t *testing.T) {
+	for _, mode := range []arch.CacheMode{arch.CacheStaticPartition, arch.CacheSharedCoherent, arch.CacheNUMAAware} {
+		h := newHarness(t, mode)
+		l := h.remoteLine(1)
+		done := 0
+		h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+		h.eng.Run()
+		// Different SM: the local L2 now holds the remote line.
+		h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+		h.eng.Run()
+		if h.remote.reads != 1 {
+			t.Fatalf("%v: remote reads %d, want 1 (L2 caches remote)", mode, h.remote.reads)
+		}
+		if done != 2 {
+			t.Fatalf("%v: completions %d", mode, done)
+		}
+	}
+}
+
+func TestRemoteFetchMerge(t *testing.T) {
+	h := newHarness(t, arch.CacheNUMAAware)
+	l := h.remoteLine(2)
+	done := 0
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	if h.remote.reads != 1 {
+		t.Fatalf("concurrent remote misses must merge: %d reads", h.remote.reads)
+	}
+	if done != 2 {
+		t.Fatalf("completions %d", done)
+	}
+}
+
+func TestLocalStoreWriteBack(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(4)
+	h.sock.Store(0, []arch.LineID{l})
+	h.eng.Run()
+	if h.drain.Outstanding() != 0 {
+		t.Fatal("store must drain")
+	}
+	// Write-back: the dirty line sits in L2, no DRAM write yet.
+	if h.sock.DRAM().Writes.Value() != 0 {
+		t.Fatal("write-back L2 must absorb the store")
+	}
+	if h.sock.StoresLocal.Value() != 1 {
+		t.Fatal("store counter wrong")
+	}
+}
+
+func TestRemoteStoreModeA(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.remoteLine(3)
+	h.sock.Store(0, []arch.LineID{l})
+	h.eng.Run()
+	if h.remote.writes != 1 {
+		t.Fatalf("mode (a) remote store must cross the link: writes %d", h.remote.writes)
+	}
+	if h.drain.Outstanding() != 0 {
+		t.Fatal("store must drain after ack")
+	}
+}
+
+func TestRemoteStoreBufferedWriteBack(t *testing.T) {
+	h := newHarness(t, arch.CacheNUMAAware)
+	l := h.remoteLine(4)
+	h.sock.Store(0, []arch.LineID{l})
+	h.eng.Run()
+	if h.remote.writes != 0 {
+		t.Fatal("write-back mode must buffer the remote store in L2")
+	}
+	// The flush must push it home.
+	h.sock.FlushCaches()
+	h.eng.Run()
+	if h.remote.bulk != 1 {
+		t.Fatalf("flush must write the dirty remote line back: bulk %d", h.remote.bulk)
+	}
+}
+
+func TestRemoteStoreWriteThrough(t *testing.T) {
+	cfg := arch.TestConfig()
+	cfg.CacheMode = arch.CacheNUMAAware
+	cfg.L2WriteThrough = true
+	eng := sim.New()
+	memMap := vmm.New(cfg.Sockets, arch.PlaceFirstTouch)
+	remote := &fakeRemote{eng: eng}
+	drain := &Drain{}
+	sock := NewSocket(eng, cfg, 0, memMap, remote, nil, drain, func(arch.SocketID) {})
+	l := arch.LineID(5000 * (arch.PageSize / arch.LineSize))
+	memMap.Owner(l, 1)
+	sock.Store(0, []arch.LineID{l})
+	eng.Run()
+	if remote.writes != 1 {
+		t.Fatalf("write-through must cross the link immediately: writes %d", remote.writes)
+	}
+}
+
+func TestFlushSemanticsPerMode(t *testing.T) {
+	cases := []struct {
+		mode           arch.CacheMode
+		wantL2Survives bool // local data survives the kernel-boundary flush
+	}{
+		{arch.CacheMemSideLocal, true},
+		{arch.CacheStaticPartition, true}, // memory-side half keeps local
+		{arch.CacheSharedCoherent, false},
+		{arch.CacheNUMAAware, false},
+	}
+	for _, tc := range cases {
+		h := newHarness(t, tc.mode)
+		l := h.localLine(6)
+		done := false
+		h.sock.Load(0, []arch.LineID{l}, func() { done = true })
+		h.eng.Run()
+		if !done {
+			t.Fatalf("%v: load incomplete", tc.mode)
+		}
+		h.sock.FlushCaches()
+		h.eng.Run()
+		if got := h.sock.L2().Peek(l); got != tc.wantL2Survives {
+			t.Errorf("%v: local line in L2 after flush = %v, want %v", tc.mode, got, tc.wantL2Survives)
+		}
+		if h.sock.L1(0).Peek(l) {
+			t.Errorf("%v: L1 must always be invalidated at kernel boundaries", tc.mode)
+		}
+	}
+}
+
+func TestNoL2InvalidateMode(t *testing.T) {
+	cfg := arch.TestConfig()
+	cfg.CacheMode = arch.CacheNUMAAware
+	cfg.NoL2Invalidate = true
+	eng := sim.New()
+	memMap := vmm.New(cfg.Sockets, arch.PlaceFirstTouch)
+	drain := &Drain{}
+	sock := NewSocket(eng, cfg, 0, memMap, &fakeRemote{eng: eng}, nil, drain, func(arch.SocketID) {})
+	l := arch.LineID(0)
+	memMap.Owner(l, 0)
+	done := false
+	sock.Load(0, []arch.LineID{l}, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("load incomplete")
+	}
+	sock.FlushCaches()
+	eng.Run()
+	if !sock.L2().Peek(l) {
+		t.Fatal("hypothetical no-invalidate L2 must keep its contents (Figure 9)")
+	}
+}
+
+func TestCTADispatchQueue(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	doneSockets := 0
+	h.sock.onAllDone = func(arch.SocketID) { doneSockets++ }
+	// More CTAs than fit at once.
+	var ctas []int
+	_ = ctas
+	h.sock.EnqueueKernel(makeCTAs(40, 2, 3))
+	h.eng.Run()
+	if doneSockets != 1 {
+		t.Fatalf("socket completion fired %d times, want 1", doneSockets)
+	}
+	if h.sock.dispatched.Value() != 40 {
+		t.Fatalf("dispatched %d CTAs, want 40", h.sock.dispatched.Value())
+	}
+	if !h.sock.Idle() {
+		t.Fatal("socket must end idle")
+	}
+}
+
+func TestEmptyKernelCompletes(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	fired := false
+	h.sock.onAllDone = func(arch.SocketID) { fired = true }
+	h.sock.EnqueueKernel(nil)
+	h.eng.Run()
+	if !fired {
+		t.Fatal("empty kernel share must still complete")
+	}
+}
+
+func TestDrainPanicsOnUnderflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected underflow panic")
+		}
+	}()
+	(&Drain{}).Dec()
+}
+
+func TestDrainWhenIdle(t *testing.T) {
+	d := &Drain{}
+	ran := false
+	d.WhenIdle(func() { ran = true })
+	if !ran {
+		t.Fatal("idle drain must run immediately")
+	}
+	d.Inc()
+	ran = false
+	d.WhenIdle(func() { ran = true })
+	if ran {
+		t.Fatal("busy drain must defer")
+	}
+	d.Dec()
+	if !ran {
+		t.Fatal("callback must fire at zero")
+	}
+}
+
+func TestHomeReadServesAndCachesMemSide(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(7)
+	done := 0
+	h.sock.HomeRead(l, func() { done++ })
+	h.eng.Run()
+	if done != 1 || h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatal("home read must reach DRAM on cold miss")
+	}
+	// Memory-side L2 cached the remote-origin access: second read hits.
+	h.sock.HomeRead(l, func() { done++ })
+	h.eng.Run()
+	if done != 2 || h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatal("memory-side L2 must cache remote-origin reads")
+	}
+}
+
+func TestHomeReadDoesNotPolluteCoherentL2(t *testing.T) {
+	h := newHarness(t, arch.CacheNUMAAware)
+	l := h.localLine(8)
+	done := 0
+	h.sock.HomeRead(l, func() { done++ })
+	h.eng.Run()
+	if h.sock.L2().Peek(l) {
+		t.Fatal("GPU-side coherent L2 must not allocate for remote requesters")
+	}
+	// But it must serve hits when the line is already resident.
+	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.eng.Run()
+	reads := h.sock.DRAM().Reads.Value()
+	h.sock.HomeRead(l, func() { done++ })
+	h.eng.Run()
+	if h.sock.DRAM().Reads.Value() != reads {
+		t.Fatal("home read must hit a resident L2 line")
+	}
+	if done != 3 {
+		t.Fatalf("completions %d", done)
+	}
+}
+
+func TestHomeWritePaths(t *testing.T) {
+	// Memory-side: write-allocates dirty.
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(9)
+	done := 0
+	h.sock.HomeWrite(l, func() { done++ })
+	h.eng.Run()
+	if done != 1 || !h.sock.L2().Peek(l) {
+		t.Fatal("memory-side home write must allocate")
+	}
+	if h.sock.DRAM().Writes.Value() != 0 {
+		t.Fatal("write-back: no DRAM write yet")
+	}
+	// Coherent mode: absent line goes straight to DRAM.
+	h2 := newHarness(t, arch.CacheNUMAAware)
+	l2 := h2.localLine(10)
+	h2.sock.HomeWrite(l2, func() { done++ })
+	h2.eng.Run()
+	if h2.sock.DRAM().Writes.Value() != 1 {
+		t.Fatal("coherent mode home write of absent line must reach DRAM")
+	}
+	if h2.sock.L2().Peek(l2) {
+		t.Fatal("coherent mode must not allocate for remote writes")
+	}
+}
+
+func TestHomeWriteBulk(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	done := false
+	h.sock.HomeWriteBulk(10, func() { done = true })
+	h.eng.Run()
+	if !done {
+		t.Fatal("bulk write must complete")
+	}
+	if h.sock.DRAM().Bytes.Total() != 10*arch.LineSize {
+		t.Fatalf("bulk bytes %d", h.sock.DRAM().Bytes.Total())
+	}
+}
+
+func TestDebugAccessors(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l1, l2, rm := h.sock.DebugPending()
+	if l1+l2+rm != 0 {
+		t.Fatal("fresh socket has pending entries")
+	}
+	q, res := h.sock.DebugCTAs()
+	if q != 0 || res != 0 {
+		t.Fatal("fresh socket has CTAs")
+	}
+	if h.sock.Crossbar() == nil || h.sock.Link() == nil || h.sock.ID() != 0 {
+		t.Fatal("accessors broken")
+	}
+	if h.sock.RemoteReqWindow() == nil || h.sock.RemoteRespWindow() == nil {
+		t.Fatal("meter accessors broken")
+	}
+}

@@ -1,0 +1,38 @@
+// Package noc models the intra-GPU network on chip: the crossbar that
+// carries traffic between the SMs (L1 caches) and the banked L2 slices
+// of one GPU socket. It is an aggregate bandwidth-limited pipe — GPU
+// crossbars are provisioned well above DRAM bandwidth, so per-port
+// contention is secondary to the aggregate ceiling.
+package noc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Crossbar is one socket's SM↔L2 interconnect.
+type Crossbar struct {
+	srv   *sim.Server
+	Bytes stats.Meter
+}
+
+// New builds a crossbar with the given aggregate bandwidth (bytes/cycle)
+// and traversal latency (cycles).
+func New(eng *sim.Engine, bandwidth float64, latency int) *Crossbar {
+	return &Crossbar{srv: sim.NewServer(eng, bandwidth, latency)}
+}
+
+// Send moves size bytes across the crossbar; done fires on delivery and
+// may be nil for traffic whose completion is tracked elsewhere.
+func (x *Crossbar) Send(size int, done sim.Event) {
+	x.Bytes.Add(uint64(size))
+	x.srv.Transfer(size, done)
+}
+
+// Utilization reports crossbar utilization over the window ending now.
+func (x *Crossbar) Utilization(now sim.Time) float64 {
+	return x.Bytes.Utilization(now, x.srv.Bandwidth())
+}
+
+// ResetWindow opens a new sampling window at now.
+func (x *Crossbar) ResetWindow(now sim.Time) { x.Bytes.Reset(now) }

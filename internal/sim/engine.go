@@ -1,0 +1,117 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual cycle clock by executing scheduled events
+// in (time, insertion-order) order. All components of the GPU model share
+// one engine; the simulation is single-threaded, which makes runs exactly
+// reproducible.
+package sim
+
+import "container/heap"
+
+// Time is a point in virtual time, measured in clock cycles.
+// The system clock is 1GHz, so one cycle is one nanosecond and a
+// bandwidth of 1GB/s equals 1 byte/cycle.
+type Time uint64
+
+// Event is a callback scheduled to run at a specific virtual time.
+type Event func(now Time)
+
+type scheduled struct {
+	at  Time
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduled)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = scheduled{}
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have run so far; useful for
+// performance accounting in benchmarks.
+func (e *Engine) Executed() uint64 { return e.nRun }
+
+// Pending reports how many events are waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn later in
+// the current cycle, after all previously scheduled events for this cycle.
+func (e *Engine) Schedule(delay Time, fn Event) {
+	e.seq++
+	heap.Push(&e.events, scheduled{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At runs fn at absolute time at. If at is in the past it runs at the
+// current time (never before: virtual time is monotonic).
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// Step executes the single next event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.events).(scheduled)
+	e.now = it.at
+	e.nRun++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline. It returns true if the
+// queue drained, false if the deadline stopped execution first.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.events) > 0 {
+		if e.events[0].at > deadline {
+			e.now = deadline
+			return false
+		}
+		e.Step()
+	}
+	return true
+}

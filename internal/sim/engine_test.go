@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineZeroValue(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine at %d, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("empty engine should have nothing to step")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30, func(Time) { got = append(got, 3) })
+	e.Schedule(10, func(Time) { got = append(got, 1) })
+	e.Schedule(20, func(Time) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %d, want 30", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events must run in insertion order, got %v", got)
+		}
+	}
+}
+
+func TestZeroDelayRunsSameCycle(t *testing.T) {
+	e := New()
+	var at Time = 999
+	e.Schedule(7, func(now Time) {
+		e.Schedule(0, func(now2 Time) { at = now2 })
+	})
+	e.Run()
+	if at != 7 {
+		t.Fatalf("zero-delay event ran at %d, want 7", at)
+	}
+}
+
+func TestAtClampsPast(t *testing.T) {
+	e := New()
+	var ran Time
+	e.Schedule(50, func(now Time) {
+		e.At(10, func(now2 Time) { ran = now2 }) // in the past
+	})
+	e.Run()
+	if ran != 50 {
+		t.Fatalf("past-At event ran at %d, want clamped to 50", ran)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i*10), func(Time) { count++ })
+	}
+	if e.RunUntil(50) {
+		t.Fatal("queue should not drain by t=50")
+	}
+	if count != 5 {
+		t.Fatalf("ran %d events by t=50, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock at %d, want 50", e.Now())
+	}
+	if !e.RunUntil(1000) {
+		t.Fatal("queue should drain by t=1000")
+	}
+	if count != 10 {
+		t.Fatalf("ran %d events total, want 10", count)
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 25; i++ {
+		e.Schedule(Time(i), func(Time) {})
+	}
+	e.Run()
+	if e.Executed() != 25 {
+		t.Fatalf("executed %d, want 25", e.Executed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse Event
+	recurse = func(now Time) {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("final time %d, want 99", e.Now())
+	}
+}
+
+// TestPropertyMonotonicTime verifies events never observe a clock that
+// moves backwards, for arbitrary delay sequences.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		last := Time(0)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Time(d), func(now Time) {
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyExecutionOrderMatchesSort verifies the engine visits
+// events in the order of a stable sort by time.
+func TestPropertyExecutionOrderMatchesSort(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := New()
+		var visited []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func(now Time) { visited = append(visited, now) })
+		}
+		e.Run()
+		sorted := append([]Time(nil), visited...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range visited {
+			if visited[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var visits []Time
+		var spawn Event
+		n := 0
+		spawn = func(now Time) {
+			visits = append(visits, now)
+			n++
+			if n < 500 {
+				e.Schedule(Time(rng.Intn(20)), spawn)
+			}
+		}
+		e.Schedule(0, spawn)
+		e.Run()
+		return visits
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism violated at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

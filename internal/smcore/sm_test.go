@@ -1,0 +1,290 @@
+package smcore
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// scriptStream replays a fixed instruction list.
+type scriptStream struct {
+	instrs []Instr
+	pos    int
+}
+
+func (s *scriptStream) Next(in *Instr) bool {
+	if s.pos >= len(s.instrs) {
+		return false
+	}
+	*in = s.instrs[s.pos]
+	s.pos++
+	return true
+}
+
+// fakePort services loads after a fixed latency and records ops.
+type fakePort struct {
+	eng     *sim.Engine
+	latency sim.Time
+	loads   int
+	stores  int
+	lines   int
+}
+
+func (p *fakePort) Load(sm int, lines []arch.LineID, done func()) {
+	p.loads++
+	p.lines += len(lines)
+	p.eng.Schedule(p.latency, func(sim.Time) { done() })
+}
+
+func (p *fakePort) Store(sm int, lines []arch.LineID) {
+	p.stores++
+	p.lines += len(lines)
+}
+
+func computeCTA(id, warps, instrs, lat int) CTA {
+	cta := CTA{ID: id}
+	for w := 0; w < warps; w++ {
+		var list []Instr
+		for i := 0; i < instrs; i++ {
+			list = append(list, Instr{Comp: uint32(lat), Op: OpNone})
+		}
+		cta.Warps = append(cta.Warps, &scriptStream{instrs: list})
+	}
+	return cta
+}
+
+func TestSMRunsComputeCTA(t *testing.T) {
+	eng := sim.New()
+	port := &fakePort{eng: eng, latency: 10}
+	var doneCTAs []int
+	sm := NewSM(eng, port, 0, 8, 4, 1, func(_, cta int) { doneCTAs = append(doneCTAs, cta) })
+	sm.Launch(computeCTA(7, 2, 5, 3))
+	eng.Run()
+	if !sm.Idle() {
+		t.Fatal("SM must drain")
+	}
+	if len(doneCTAs) != 1 || doneCTAs[0] != 7 {
+		t.Fatalf("CTA completion %v, want [7]", doneCTAs)
+	}
+	if sm.Issued.Value() != 10 {
+		t.Fatalf("issued %d, want 10 (2 warps × 5 instrs)", sm.Issued.Value())
+	}
+}
+
+func TestSMLoadBlocksWarp(t *testing.T) {
+	eng := sim.New()
+	port := &fakePort{eng: eng, latency: 100}
+	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	cta := CTA{ID: 0, Warps: []InstrStream{&scriptStream{instrs: []Instr{
+		{Op: OpLoad, Lines: []arch.LineID{1, 2}},
+		{Op: OpNone, Comp: 1},
+	}}}}
+	sm.Launch(cta)
+	eng.Run()
+	if eng.Now() < 100 {
+		t.Fatalf("finished at %d; load must block the warp for its latency", eng.Now())
+	}
+	if port.loads != 1 || port.lines != 2 {
+		t.Fatalf("port saw %d loads / %d lines, want 1/2", port.loads, port.lines)
+	}
+}
+
+func TestSMStoreDoesNotBlock(t *testing.T) {
+	eng := sim.New()
+	port := &fakePort{eng: eng, latency: 10000}
+	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	cta := CTA{ID: 0, Warps: []InstrStream{&scriptStream{instrs: []Instr{
+		{Op: OpStore, Lines: []arch.LineID{1}},
+		{Op: OpStore, Lines: []arch.LineID{2}},
+		{Op: OpStore, Lines: []arch.LineID{3}},
+	}}}}
+	sm.Launch(cta)
+	eng.Run()
+	if eng.Now() > 20 {
+		t.Fatalf("stores blocked the warp: finished at %d", eng.Now())
+	}
+	if port.stores != 3 {
+		t.Fatalf("stores %d, want 3", port.stores)
+	}
+}
+
+func TestSMComputeDelay(t *testing.T) {
+	eng := sim.New()
+	port := &fakePort{eng: eng}
+	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	sm.Launch(computeCTA(0, 1, 4, 50))
+	eng.Run()
+	// 4 instructions × 50 cycles of compute each ≈ 200 cycles.
+	if eng.Now() < 200 {
+		t.Fatalf("compute delays not honored: finished at %d", eng.Now())
+	}
+}
+
+func TestSMMultiWarpOverlap(t *testing.T) {
+	// Two warps with long loads must overlap: total time ≈ one load
+	// latency, not two.
+	eng := sim.New()
+	port := &fakePort{eng: eng, latency: 500}
+	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	mk := func() InstrStream {
+		return &scriptStream{instrs: []Instr{{Op: OpLoad, Lines: []arch.LineID{1}}}}
+	}
+	sm.Launch(CTA{ID: 0, Warps: []InstrStream{mk(), mk(), mk(), mk()}})
+	eng.Run()
+	if eng.Now() > 520 {
+		t.Fatalf("warps did not overlap: %d cycles for 4 parallel loads", eng.Now())
+	}
+}
+
+func TestSMIssueRate(t *testing.T) {
+	// One warp issuing N trivial instructions takes ≈N cycles at
+	// issue width 1.
+	eng := sim.New()
+	port := &fakePort{eng: eng}
+	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	sm.Launch(computeCTA(0, 1, 100, 0))
+	eng.Run()
+	if eng.Now() < 99 || eng.Now() > 110 {
+		t.Fatalf("100 instructions took %d cycles, want ≈100", eng.Now())
+	}
+}
+
+func TestCanAcceptBounds(t *testing.T) {
+	eng := sim.New()
+	port := &fakePort{eng: eng}
+	sm := NewSM(eng, port, 0, 8, 2, 1, nil) // 8 warps, 2 CTA slots
+	if !sm.CanAccept(4) {
+		t.Fatal("empty SM must accept")
+	}
+	sm.Launch(computeCTA(0, 4, 1000, 100))
+	if !sm.CanAccept(4) {
+		t.Fatal("half-full SM must accept a second CTA")
+	}
+	sm.Launch(computeCTA(1, 4, 1000, 100))
+	if sm.CanAccept(1) {
+		t.Fatal("full warp budget must reject")
+	}
+	if sm.ResidentCTAs() != 2 || sm.ResidentWarps() != 8 {
+		t.Fatalf("occupancy %d CTAs / %d warps", sm.ResidentCTAs(), sm.ResidentWarps())
+	}
+}
+
+func TestLaunchWithoutCapacityPanics(t *testing.T) {
+	eng := sim.New()
+	sm := NewSM(eng, &fakePort{eng: eng}, 0, 2, 1, 1, nil)
+	sm.Launch(computeCTA(0, 2, 10, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sm.Launch(computeCTA(1, 2, 10, 1))
+}
+
+// TestSlotReuseAfterRetire is the regression test for the ready-queue
+// corruption found during bring-up: a warp that retires while also
+// queued, whose slot is immediately relaunched, must not lose wakeups.
+func TestSlotReuseAfterRetire(t *testing.T) {
+	eng := sim.New()
+	port := &fakePort{eng: eng, latency: 7}
+	done := 0
+	var sm *SM
+	sm = NewSM(eng, port, 0, 2, 2, 1, func(_, _ int) {
+		done++
+		if done < 50 {
+			// Immediately relaunch into the freed slot.
+			sm.Launch(CTA{ID: 100 + done, Warps: []InstrStream{&scriptStream{instrs: []Instr{
+				{Op: OpLoad, Lines: []arch.LineID{arch.LineID(done)}},
+				{Op: OpStore, Lines: []arch.LineID{arch.LineID(done)}},
+			}}}})
+		}
+	})
+	sm.Launch(CTA{ID: 0, Warps: []InstrStream{&scriptStream{instrs: []Instr{
+		{Op: OpLoad, Lines: []arch.LineID{1}},
+		{Op: OpStore, Lines: []arch.LineID{1}},
+	}}}})
+	eng.Run()
+	if done != 50 {
+		t.Fatalf("completed %d CTAs, want 50 (lost wakeup)", done)
+	}
+	if !sm.Idle() {
+		t.Fatal("SM must end idle")
+	}
+}
+
+func TestGreedyThenRoundRobin(t *testing.T) {
+	// A warp that stays ready (stores only) should keep issuing
+	// (greedy) while a blocked warp waits; the order of port.stores
+	// confirms the greedy warp ran consecutively.
+	eng := sim.New()
+	port := &fakePort{eng: eng, latency: 1000}
+	sm := NewSM(eng, port, 0, 4, 4, 1, nil)
+	blocker := &scriptStream{instrs: []Instr{{Op: OpLoad, Lines: []arch.LineID{9}}}}
+	greedy := &scriptStream{instrs: []Instr{
+		{Op: OpStore, Lines: []arch.LineID{1}},
+		{Op: OpStore, Lines: []arch.LineID{2}},
+		{Op: OpStore, Lines: []arch.LineID{3}},
+	}}
+	sm.Launch(CTA{ID: 0, Warps: []InstrStream{blocker, greedy}})
+	eng.RunUntil(100) // before the load returns
+	if port.stores != 3 {
+		t.Fatalf("greedy warp issued %d stores before load returned, want 3", port.stores)
+	}
+	eng.Run()
+}
+
+func TestDebugStates(t *testing.T) {
+	eng := sim.New()
+	port := &fakePort{eng: eng, latency: 100}
+	sm := NewSM(eng, port, 0, 4, 4, 1, nil)
+	sm.Launch(CTA{ID: 0, Warps: []InstrStream{&scriptStream{instrs: []Instr{
+		{Op: OpLoad, Lines: []arch.LineID{1}},
+	}}}})
+	eng.RunUntil(10)
+	st := sm.DebugStates()
+	if st[2] != 1 {
+		t.Fatalf("states %v, want one warp waiting on memory", st)
+	}
+	eng.Run()
+}
+
+func TestDualIssue(t *testing.T) {
+	// issueWidth 2: two ready warps retire trivial instructions about
+	// twice as fast as single issue.
+	run := func(width int) sim.Time {
+		eng := sim.New()
+		sm := NewSM(eng, &fakePort{eng: eng}, 0, 8, 4, width, nil)
+		sm.Launch(computeCTA(0, 4, 50, 0))
+		eng.Run()
+		return eng.Now()
+	}
+	single := run(1)
+	dual := run(2)
+	if float64(dual) > 0.7*float64(single) {
+		t.Fatalf("dual issue not faster: %d vs %d", dual, single)
+	}
+}
+
+func TestIssueWidthClamped(t *testing.T) {
+	eng := sim.New()
+	sm := NewSM(eng, &fakePort{eng: eng}, 0, 4, 2, 0, nil) // width 0 → 1
+	sm.Launch(computeCTA(0, 1, 3, 1))
+	eng.Run()
+	if sm.Issued.Value() != 3 {
+		t.Fatalf("issued %d", sm.Issued.Value())
+	}
+}
+
+func TestBusyCyclesCounted(t *testing.T) {
+	eng := sim.New()
+	sm := NewSM(eng, &fakePort{eng: eng}, 0, 4, 2, 1, nil)
+	sm.Launch(computeCTA(0, 1, 20, 0))
+	eng.Run()
+	if sm.BusyCycles.Value() == 0 {
+		t.Fatal("busy cycles not counted")
+	}
+	if sm.BusyCycles.Value() > sm.Issued.Value()+2 {
+		t.Fatalf("busy %d exceeds issued %d", sm.BusyCycles.Value(), sm.Issued.Value())
+	}
+}

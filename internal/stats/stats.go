@@ -1,0 +1,119 @@
+// Package stats provides the measurement primitives the NUMA GPU model
+// and its runtime policies rely on: windowed bandwidth meters (the link
+// balancer and cache partitioner both sample saturation over fixed
+// windows), plain counters, and time-series recorders for the
+// utilization profiles shown in Figure 5 of the paper.
+package stats
+
+import "repro/internal/sim"
+
+// Meter accumulates bytes transferred through a resource and exposes
+// both lifetime totals and per-window readings. Windows are closed
+// explicitly by the policy that samples the meter, so different policies
+// can share one meter only if they share a sampling period; the model
+// gives each consumer its own meter instead.
+type Meter struct {
+	total       uint64
+	window      uint64
+	windowStart sim.Time
+}
+
+// Add records n bytes.
+func (m *Meter) Add(n uint64) {
+	m.total += n
+	m.window += n
+}
+
+// Total reports lifetime bytes.
+func (m *Meter) Total() uint64 { return m.total }
+
+// WindowBytes reports bytes recorded since the last Reset.
+func (m *Meter) WindowBytes() uint64 { return m.window }
+
+// Utilization reports window bytes as a fraction of what a resource
+// with the given bandwidth (bytes/cycle) could move since the window
+// opened at time now. A resource that never idled reads 1.0.
+func (m *Meter) Utilization(now sim.Time, bandwidth float64) float64 {
+	elapsed := now - m.windowStart
+	if elapsed == 0 || bandwidth <= 0 {
+		return 0
+	}
+	return float64(m.window) / (bandwidth * float64(elapsed))
+}
+
+// Reset closes the current window and opens a new one at time now.
+func (m *Meter) Reset(now sim.Time) {
+	m.window = 0
+	m.windowStart = now
+}
+
+// Counter is a named event counter.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Advance adds n.
+func (c *Counter) Advance(n uint64) { c.n += n }
+
+// Value reports the count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Sample is one point of a recorded utilization time series.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series records a time series of float samples, e.g. per-window link
+// utilization for the Figure 5 profile.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Record appends a sample.
+func (s *Series) Record(at sim.Time, v float64) {
+	s.Samples = append(s.Samples, Sample{At: at, Value: v})
+}
+
+// Mean reports the arithmetic mean of the recorded values, 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Samples {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// Max reports the maximum recorded value, 0 if empty.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, p := range s.Samples {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// HitRate is a convenience pair of counters for cache statistics.
+type HitRate struct {
+	Hits   Counter
+	Misses Counter
+}
+
+// Rate reports hits/(hits+misses), 0 when no accesses happened.
+func (h *HitRate) Rate() float64 {
+	t := h.Hits.Value() + h.Misses.Value()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Hits.Value()) / float64(t)
+}
+
+// Accesses reports the total number of lookups.
+func (h *HitRate) Accesses() uint64 { return h.Hits.Value() + h.Misses.Value() }

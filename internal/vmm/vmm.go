@@ -1,0 +1,131 @@
+// Package vmm models the unified virtual memory of the NUMA GPU: a
+// system-wide page table mapping pages to GPU sockets under the three
+// placement policies contrasted in Section 3 of Milic et al. —
+// fine-grained interleaving (the single-GPU policy extended across
+// sockets), Linux-style round-robin page interleaving, and UVM
+// first-touch migration.
+package vmm
+
+import (
+	"repro/internal/arch"
+	"repro/internal/stats"
+)
+
+// Memory is the system-wide page table and placement policy.
+type Memory struct {
+	sockets int
+	policy  arch.MemPlacement
+	pages   map[arch.PageID]arch.SocketID
+
+	// Migrations counts first-touch placements (page migrations from
+	// system memory into a GPU's local memory).
+	Migrations stats.Counter
+}
+
+// New builds a memory map for a system with the given socket count and
+// placement policy.
+func New(sockets int, policy arch.MemPlacement) *Memory {
+	m := &Memory{sockets: sockets, policy: policy}
+	if policy == arch.PlaceFirstTouch {
+		m.pages = make(map[arch.PageID]arch.SocketID, 1<<12)
+	}
+	return m
+}
+
+// Sockets reports the socket count.
+func (m *Memory) Sockets() int { return m.sockets }
+
+// Policy reports the placement policy.
+func (m *Memory) Policy() arch.MemPlacement { return m.policy }
+
+// Owner resolves the home socket of the line l for a request issued by
+// requester. Under first touch, an unmapped page is placed on the
+// requester's socket (on-demand migration from system memory).
+func (m *Memory) Owner(l arch.LineID, requester arch.SocketID) arch.SocketID {
+	if m.sockets == 1 {
+		return 0
+	}
+	switch m.policy {
+	case arch.PlaceFineInterleave:
+		unit := uint64(l.Addr()) / arch.FineInterleaveGranularity
+		return arch.SocketID(unit % uint64(m.sockets))
+	case arch.PlacePageInterleave:
+		return arch.SocketID(uint64(arch.PageOfLine(l)) % uint64(m.sockets))
+	default: // PlaceFirstTouch
+		p := arch.PageOfLine(l)
+		if s, ok := m.pages[p]; ok {
+			return s
+		}
+		m.pages[p] = requester
+		m.Migrations.Inc()
+		return requester
+	}
+}
+
+// Peek resolves the home socket without triggering first-touch
+// placement; ok is false when the page is still in system memory.
+func (m *Memory) Peek(l arch.LineID) (arch.SocketID, bool) {
+	if m.sockets == 1 {
+		return 0, true
+	}
+	switch m.policy {
+	case arch.PlaceFineInterleave:
+		unit := uint64(l.Addr()) / arch.FineInterleaveGranularity
+		return arch.SocketID(unit % uint64(m.sockets)), true
+	case arch.PlacePageInterleave:
+		return arch.SocketID(uint64(arch.PageOfLine(l)) % uint64(m.sockets)), true
+	default:
+		s, ok := m.pages[arch.PageOfLine(l)]
+		return s, ok
+	}
+}
+
+// Preplace pins every page in [start, start+size) to socket s,
+// regardless of policy (meaningful only under first touch, where it
+// models data touched by an earlier phase, e.g. initialization output
+// buffers). Other policies ignore it.
+func (m *Memory) Preplace(start arch.Addr, size int64, s arch.SocketID) {
+	if m.policy != arch.PlaceFirstTouch || m.sockets == 1 {
+		return
+	}
+	first := arch.PageOf(start)
+	last := arch.PageOf(start + arch.Addr(size-1))
+	for p := first; p <= last; p++ {
+		m.pages[p] = s
+	}
+}
+
+// PreplaceInterleave pins the pages of [start, start+size) round-robin
+// across all sockets (under first touch only): the placement a striped
+// initialization kernel would have produced for shared data structures.
+func (m *Memory) PreplaceInterleave(start arch.Addr, size int64) {
+	if m.policy != arch.PlaceFirstTouch || m.sockets == 1 {
+		return
+	}
+	first := arch.PageOf(start)
+	last := arch.PageOf(start + arch.Addr(size-1))
+	for p := first; p <= last; p++ {
+		m.pages[p] = arch.SocketID(uint64(p-first) % uint64(m.sockets))
+	}
+}
+
+// MappedPages reports how many pages have a first-touch mapping.
+func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// DistributionOf reports, per socket, the fraction of mapped pages it
+// owns (first touch only; interleave policies are uniform by
+// construction). Useful for asserting locality in tests.
+func (m *Memory) DistributionOf() []float64 {
+	out := make([]float64, m.sockets)
+	if len(m.pages) == 0 {
+		return out
+	}
+	for _, s := range m.pages {
+		out[s]++
+	}
+	n := float64(len(m.pages))
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package vmm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestSingleSocketAlwaysLocal(t *testing.T) {
+	m := New(1, arch.PlaceFirstTouch)
+	for l := arch.LineID(0); l < 1000; l += 13 {
+		if m.Owner(l, 0) != 0 {
+			t.Fatal("single socket must own everything")
+		}
+	}
+}
+
+func TestFineInterleave(t *testing.T) {
+	m := New(4, arch.PlaceFineInterleave)
+	// 256B granularity: lines 0,1 → socket 0; lines 2,3 → socket 1; ...
+	cases := []struct {
+		line arch.LineID
+		want arch.SocketID
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {6, 3}, {8, 0}}
+	for _, tc := range cases {
+		if got := m.Owner(tc.line, 3); got != tc.want {
+			t.Fatalf("line %d → socket %d, want %d", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestFineInterleaveRemoteFraction(t *testing.T) {
+	// The paper: fine interleaving makes 75% of accesses remote on 4
+	// sockets, regardless of requester.
+	m := New(4, arch.PlaceFineInterleave)
+	remote := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if m.Owner(arch.LineID(i), 1) != 1 {
+			remote++
+		}
+	}
+	frac := float64(remote) / n
+	if frac < 0.74 || frac > 0.76 {
+		t.Fatalf("remote fraction %v, want 0.75", frac)
+	}
+}
+
+func TestPageInterleave(t *testing.T) {
+	m := New(4, arch.PlacePageInterleave)
+	linesPerPage := arch.PageSize / arch.LineSize
+	for p := 0; p < 16; p++ {
+		want := arch.SocketID(p % 4)
+		l := arch.LineID(p * linesPerPage)
+		if got := m.Owner(l, 2); got != want {
+			t.Fatalf("page %d → socket %d, want %d", p, got, want)
+		}
+		// All lines of one page share an owner.
+		if got := m.Owner(l+arch.LineID(linesPerPage-1), 0); got != want {
+			t.Fatalf("page %d tail line disagrees", p)
+		}
+	}
+}
+
+func TestFirstTouch(t *testing.T) {
+	m := New(4, arch.PlaceFirstTouch)
+	l := arch.LineID(12345)
+	if got := m.Owner(l, 2); got != 2 {
+		t.Fatalf("first touch by socket 2 placed on %d", got)
+	}
+	// Subsequent touches by anyone resolve to the first toucher.
+	for s := arch.SocketID(0); s < 4; s++ {
+		if got := m.Owner(l, s); got != 2 {
+			t.Fatalf("socket %d sees owner %d, want 2", s, got)
+		}
+	}
+	if m.Migrations.Value() != 1 {
+		t.Fatalf("migrations %d, want 1", m.Migrations.Value())
+	}
+}
+
+func TestPeekDoesNotPlace(t *testing.T) {
+	m := New(4, arch.PlaceFirstTouch)
+	if _, ok := m.Peek(99); ok {
+		t.Fatal("peek must not report unmapped pages")
+	}
+	if m.MappedPages() != 0 {
+		t.Fatal("peek must not place pages")
+	}
+	m.Owner(99, 1)
+	if s, ok := m.Peek(99); !ok || s != 1 {
+		t.Fatal("peek must see placed page")
+	}
+}
+
+func TestPreplace(t *testing.T) {
+	m := New(4, arch.PlaceFirstTouch)
+	m.Preplace(0, 4*arch.PageSize, 3)
+	for p := 0; p < 4; p++ {
+		l := arch.LineID(p * (arch.PageSize / arch.LineSize))
+		if got := m.Owner(l, 0); got != 3 {
+			t.Fatalf("preplaced page %d owned by %d, want 3", p, got)
+		}
+	}
+	// Preplace is a no-op for interleave policies.
+	mi := New(4, arch.PlacePageInterleave)
+	mi.Preplace(0, 4*arch.PageSize, 3)
+	if mi.Owner(0, 0) != 0 {
+		t.Fatal("preplace must not affect page interleave")
+	}
+}
+
+func TestPreplaceInterleave(t *testing.T) {
+	m := New(4, arch.PlaceFirstTouch)
+	m.PreplaceInterleave(0, 8*arch.PageSize)
+	linesPerPage := arch.PageSize / arch.LineSize
+	for p := 0; p < 8; p++ {
+		want := arch.SocketID(p % 4)
+		if got := m.Owner(arch.LineID(p*linesPerPage), 0); got != want {
+			t.Fatalf("page %d owned by %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	m := New(2, arch.PlaceFirstTouch)
+	m.Owner(0, 0)
+	linesPerPage := arch.LineID(arch.PageSize / arch.LineSize)
+	m.Owner(linesPerPage, 1)
+	m.Owner(2*linesPerPage, 1)
+	d := m.DistributionOf()
+	if d[0] < 0.33 || d[0] > 0.34 || d[1] < 0.66 || d[1] > 0.67 {
+		t.Fatalf("distribution %v, want [1/3 2/3]", d)
+	}
+	empty := New(2, arch.PlaceFirstTouch)
+	if d := empty.DistributionOf(); d[0] != 0 || d[1] != 0 {
+		t.Fatal("empty distribution must be zero")
+	}
+}
+
+// TestPropertyFirstTouchStable: once placed, ownership never changes no
+// matter who asks afterwards.
+func TestPropertyFirstTouchStable(t *testing.T) {
+	f := func(lines []uint32, touchers []uint8) bool {
+		if len(touchers) == 0 {
+			return true
+		}
+		m := New(4, arch.PlaceFirstTouch)
+		owner := map[arch.LineID]arch.SocketID{}
+		for i, raw := range lines {
+			l := arch.LineID(raw % 4096)
+			s := arch.SocketID(touchers[i%len(touchers)] % 4)
+			got := m.Owner(l, s)
+			p := arch.PageOfLine(l)
+			key := arch.LineID(p) // track per page
+			if prev, ok := owner[key]; ok {
+				if got != prev {
+					return false
+				}
+			} else {
+				owner[key] = got
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInterleaveDeterministic: interleave policies ignore the
+// requester entirely.
+func TestPropertyInterleaveDeterministic(t *testing.T) {
+	f := func(raw uint32, r1, r2 uint8) bool {
+		l := arch.LineID(raw)
+		for _, pol := range []arch.MemPlacement{arch.PlaceFineInterleave, arch.PlacePageInterleave} {
+			m := New(4, pol)
+			if m.Owner(l, arch.SocketID(r1%4)) != m.Owner(l, arch.SocketID(r2%4)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package xlink
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SaturationThreshold is the utilization at which the paper's policies
+// consider a direction (or memory channel) saturated. The paper uses
+// "projected link utilization above 99%"; in this model a fully
+// backlogged server delivers ~97-98% of nominal bandwidth (latency
+// bubbles and fractional-cycle effects), so 95% is the calibrated
+// equivalent operating point.
+const SaturationThreshold = 0.95
+
+// donorCanSpare reports whether a direction running at util with the
+// given lane count could lose one lane and still stay clear of
+// saturation. This is the anti-thrash guard: read-symmetric workloads
+// whose two directions hover around saturation never pass it, so lanes
+// are only stolen when the donor has genuine headroom, and stealing
+// stops exactly when one more turn would make the donor the new
+// bottleneck.
+func donorCanSpare(util float64, lanes int) bool {
+	if lanes <= 1 {
+		return false
+	}
+	projected := util * float64(lanes) / float64(lanes-1)
+	return projected < SaturationThreshold
+}
+
+// Balancer is the dynamic link load balancer of Section 4: one per GPU
+// link, sampling directional utilization every SampleTime cycles and
+// re-pointing lanes toward the saturated direction.
+//
+// Per sample it applies the paper's rules:
+//   - one direction saturated, the other not → turn one lane of the
+//     unsaturated direction around (keeping at least one);
+//   - both saturated while asymmetric → step back toward symmetric to
+//     encourage global bandwidth equalization;
+//   - otherwise → do nothing.
+type Balancer struct {
+	link   *Link
+	sample sim.Time
+	stop   bool
+	lean   int // last window's imbalance: +1 egress-starved, -1 ingress-starved
+
+	// Exponentially weighted moving averages of directional utilization
+	// smooth single-window burst noise out of the decisions.
+	avgE, avgI float64
+	seeded     bool
+
+	// Decisions counts sampling rounds; Reconfigs counts rounds that
+	// moved a lane.
+	Decisions stats.Counter
+	Reconfigs stats.Counter
+}
+
+// NewBalancer attaches a balancer to link with the given sampling
+// period in cycles.
+func NewBalancer(link *Link, sampleTime int) *Balancer {
+	if sampleTime < 1 {
+		sampleTime = 1
+	}
+	return &Balancer{link: link, sample: sim.Time(sampleTime)}
+}
+
+// Start begins periodic sampling on eng. The balancer runs until Stop.
+func (b *Balancer) Start(eng *sim.Engine) {
+	b.stop = false
+	b.link.ResetWindow(eng.Now())
+	var tick sim.Event
+	tick = func(now sim.Time) {
+		if b.stop {
+			return
+		}
+		b.Step(now)
+		eng.Schedule(b.sample, tick)
+	}
+	eng.Schedule(b.sample, tick)
+}
+
+// Stop halts sampling after the current tick.
+func (b *Balancer) Stop() { b.stop = true }
+
+// Step runs one sampling decision at time now. Exposed for tests.
+func (b *Balancer) Step(now sim.Time) {
+	b.Decisions.Inc()
+	const alpha = 0.5
+	rawE := b.link.Utilization(Egress, now)
+	rawI := b.link.Utilization(Ingress, now)
+	if !b.seeded {
+		// First window after a kernel launch: seed the averages and
+		// observe only. Kernel ramp-up floods egress with requests
+		// before responses flow back, a transient asymmetry that must
+		// not trigger lane turns.
+		b.avgE, b.avgI = rawE, rawI
+		b.seeded = true
+		b.link.ResetWindow(now)
+		return
+	}
+	b.avgE = alpha*rawE + (1-alpha)*b.avgE
+	b.avgI = alpha*rawI + (1-alpha)*b.avgI
+	eU, iU := b.avgE, b.avgI
+	satE := eU >= SaturationThreshold
+	satI := iU >= SaturationThreshold
+
+	// A turn is allowed when the donor has genuine headroom, or when it
+	// holds the lane majority (turning toward symmetric can never leave
+	// the link worse-balanced than its design point, and un-sticks
+	// misallocated asymmetry left behind by an earlier phase).
+	lanesE, lanesI := b.link.Lanes(Egress), b.link.Lanes(Ingress)
+	lean := 0
+	switch {
+	case satE && !satI && (donorCanSpare(iU, lanesI) || lanesI > lanesE):
+		lean = +1
+	case satI && !satE && (donorCanSpare(eU, lanesE) || lanesE > lanesI):
+		lean = -1
+	}
+
+	switch {
+	case lean == +1 && b.lean == +1:
+		// Egress starved two windows in a row: steal an ingress lane.
+		if b.link.TurnLane(Ingress, Egress) {
+			b.Reconfigs.Inc()
+		}
+	case lean == -1 && b.lean == -1:
+		if b.link.TurnLane(Egress, Ingress) {
+			b.Reconfigs.Inc()
+		}
+	case satE && satI:
+		// Both oversubscribed: drift back toward symmetric to
+		// encourage global bandwidth equalization.
+		if b.link.Lanes(Egress) > b.link.Lanes(Ingress) {
+			if b.link.TurnLane(Egress, Ingress) {
+				b.Reconfigs.Inc()
+			}
+		} else if b.link.Lanes(Ingress) > b.link.Lanes(Egress) {
+			if b.link.TurnLane(Ingress, Egress) {
+				b.Reconfigs.Inc()
+			}
+		}
+	}
+	b.lean = lean
+	b.link.ResetWindow(now)
+}
+
+// ResetState clears the persistence and smoothing state; the runtime
+// calls it at kernel launches alongside the symmetric lane reset.
+func (b *Balancer) ResetState() {
+	b.lean = 0
+	b.seeded = false
+	b.avgE, b.avgI = 0, 0
+}

@@ -1,0 +1,71 @@
+package xlink
+
+import (
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// Fabric is the switched interconnect connecting every GPU socket: one
+// Link per socket plus a non-blocking switch. The paper's switch keeps
+// total bandwidth constant; the per-port links are the bottleneck, so
+// the switch contributes only latency.
+type Fabric struct {
+	eng       *sim.Engine
+	links     []*Link
+	switchLat sim.Time
+}
+
+// NewFabric builds the fabric for a system described by cfg.
+func NewFabric(eng *sim.Engine, cfg arch.Config) *Fabric {
+	f := &Fabric{eng: eng, switchLat: sim.Time(cfg.SwitchLatency)}
+	for i := 0; i < cfg.Sockets; i++ {
+		f.links = append(f.links, NewLink(eng, cfg.LanesPerDir, cfg.LaneBandwidth, cfg.LinkLatency, cfg.LaneSwitchTime))
+	}
+	return f
+}
+
+// Link returns socket s's link.
+func (f *Fabric) Link(s arch.SocketID) *Link { return f.links[s] }
+
+// NumLinks reports the socket/link count.
+func (f *Fabric) NumLinks() int { return len(f.links) }
+
+// Route delivers a size-byte message from socket src to socket dst:
+// egress on src's link, switch traversal, ingress on dst's link. done
+// fires when the message arrives at dst and may be nil.
+func (f *Fabric) Route(src, dst arch.SocketID, size int, done sim.Event) {
+	if src == dst {
+		// Degenerate but legal: loopback costs only switch latency.
+		f.eng.Schedule(f.switchLat, func(now sim.Time) {
+			if done != nil {
+				done(now)
+			}
+		})
+		return
+	}
+	f.links[src].Send(Egress, size, func(sim.Time) {
+		f.eng.Schedule(f.switchLat, func(sim.Time) {
+			f.links[dst].Send(Ingress, size, done)
+		})
+	})
+}
+
+// ResetSymmetric restores every link to the symmetric assignment and
+// opens fresh sampling windows (invoked at kernel launches).
+func (f *Fabric) ResetSymmetric(now sim.Time) {
+	for _, l := range f.links {
+		l.ResetSymmetric()
+		l.ResetWindow(now)
+	}
+}
+
+// TotalBytes reports lifetime bytes moved across all links in both
+// directions: the quantity the Section 6 power model charges at
+// 10 pJ/bit.
+func (f *Fabric) TotalBytes() uint64 {
+	var t uint64
+	for _, l := range f.links {
+		t += l.Sent[Egress].Value() + l.Sent[Ingress].Value()
+	}
+	return t
+}

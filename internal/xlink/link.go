@@ -1,0 +1,165 @@
+// Package xlink models the inter-GPU interconnect of the multi-socket
+// NUMA GPU: per-socket links to a central high-bandwidth switch, built
+// from individually reversible lanes, plus the dynamic link load
+// balancer of Section 4 of Milic et al. (MICRO 2017).
+//
+// Each link has two directions — egress (GPU to switch) and ingress
+// (switch to GPU) — made of lanes that default to a symmetric split
+// (Table 1: 8 lanes × 8GB/s per direction). The balancer samples
+// directional utilization every SampleTime cycles and re-points one
+// lane from an unsaturated direction to a saturated one, paying a
+// SwitchTime turnaround, exactly as the paper describes.
+package xlink
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Direction distinguishes the two sides of a link, named from the GPU's
+// perspective.
+type Direction int
+
+const (
+	// Egress carries traffic from the GPU socket into the switch.
+	Egress Direction = iota
+	// Ingress carries traffic from the switch into the GPU socket.
+	Ingress
+)
+
+func (d Direction) String() string {
+	if d == Egress {
+		return "egress"
+	}
+	return "ingress"
+}
+
+// Opposite returns the other direction.
+func (d Direction) Opposite() Direction { return 1 - d }
+
+// Link is one GPU socket's connection to the switch.
+type Link struct {
+	eng        *sim.Engine
+	laneBW     float64
+	totalLanes int
+	switchTime int
+
+	lanes [2]int
+	srv   [2]*sim.Server
+
+	balBytes  [2]stats.Meter // sampling window for the balancer & policies
+	profBytes [2]stats.Meter // independent window for profiling (Figure 5)
+	gen       uint64         // invalidates in-flight lane-turn completions
+
+	// Turns counts completed lane reversals; Sent counts bytes by
+	// direction over the link's lifetime.
+	Turns stats.Counter
+	Sent  [2]stats.Counter
+}
+
+// NewLink builds a link with lanesPerDir lanes in each direction, each
+// moving laneBW bytes/cycle, with oneWayLatency cycles end to end
+// (split across the two traversals) and the given lane turnaround time.
+func NewLink(eng *sim.Engine, lanesPerDir int, laneBW float64, oneWayLatency, switchTime int) *Link {
+	l := &Link{
+		eng:        eng,
+		laneBW:     laneBW,
+		totalLanes: 2 * lanesPerDir,
+		switchTime: switchTime,
+	}
+	l.lanes[Egress] = lanesPerDir
+	l.lanes[Ingress] = lanesPerDir
+	half := oneWayLatency / 2
+	l.srv[Egress] = sim.NewServer(eng, float64(lanesPerDir)*laneBW, half)
+	l.srv[Ingress] = sim.NewServer(eng, float64(lanesPerDir)*laneBW, oneWayLatency-half)
+	return l
+}
+
+// Lanes reports the lanes currently assigned to dir (including a lane
+// mid-turn toward dir, which counts at its destination).
+func (l *Link) Lanes(dir Direction) int { return l.lanes[dir] }
+
+// TotalLanes reports the invariant lane budget of the link.
+func (l *Link) TotalLanes() int { return l.totalLanes }
+
+// Bandwidth reports dir's current capacity in bytes/cycle.
+func (l *Link) Bandwidth(dir Direction) float64 { return l.srv[dir].Bandwidth() }
+
+// Send moves size bytes in direction dir; done fires on delivery at the
+// far end of this traversal and may be nil.
+func (l *Link) Send(dir Direction, size int, done sim.Event) {
+	l.Sent[dir].Advance(uint64(size))
+	l.balBytes[dir].Add(uint64(size))
+	l.profBytes[dir].Add(uint64(size))
+	l.srv[dir].Transfer(size, done)
+}
+
+// Utilization reports dir's utilization over the balancer window ending
+// at now.
+func (l *Link) Utilization(dir Direction, now sim.Time) float64 {
+	return l.balBytes[dir].Utilization(now, l.srv[dir].Bandwidth())
+}
+
+// ResetWindow opens a new balancer sampling window at now.
+func (l *Link) ResetWindow(now sim.Time) {
+	l.balBytes[Egress].Reset(now)
+	l.balBytes[Ingress].Reset(now)
+}
+
+// ProfileUtilization reports dir's utilization over the profiler window
+// (normalized against the symmetric per-direction capacity so Figure 5
+// profiles are comparable across reconfigurations).
+func (l *Link) ProfileUtilization(dir Direction, now sim.Time) float64 {
+	sym := float64(l.totalLanes/2) * l.laneBW
+	return l.profBytes[dir].Utilization(now, sym)
+}
+
+// ResetProfileWindow opens a new profiler window at now.
+func (l *Link) ResetProfileWindow(now sim.Time) {
+	l.profBytes[Egress].Reset(now)
+	l.profBytes[Ingress].Reset(now)
+}
+
+// TurnLane re-points one lane from direction from to direction to. The
+// donor loses capacity immediately (the lane quiesces); the receiver
+// gains it after the configured switch time. It reports whether a lane
+// was available to turn (at least one lane always remains per
+// direction).
+func (l *Link) TurnLane(from, to Direction) bool {
+	if from == to || l.lanes[from] <= 1 {
+		return false
+	}
+	l.lanes[from]--
+	l.lanes[to]++
+	l.srv[from].SetBandwidth(float64(l.lanes[from]) * l.laneBW)
+	gen := l.gen
+	target := float64(l.lanes[to]) * l.laneBW
+	l.eng.Schedule(sim.Time(l.switchTime), func(sim.Time) {
+		if l.gen != gen {
+			return // a reset intervened; it already set bandwidths
+		}
+		if cur := l.srv[to].Bandwidth(); cur < target {
+			l.srv[to].SetBandwidth(target)
+		}
+	})
+	l.Turns.Inc()
+	return true
+}
+
+// ResetSymmetric restores the design-time symmetric lane assignment,
+// applied instantaneously at kernel launch (the paper reconfigures all
+// links to symmetric on every kernel boundary).
+func (l *Link) ResetSymmetric() {
+	l.gen++
+	per := l.totalLanes / 2
+	l.lanes[Egress] = per
+	l.lanes[Ingress] = l.totalLanes - per
+	l.srv[Egress].SetBandwidth(float64(l.lanes[Egress]) * l.laneBW)
+	l.srv[Ingress].SetBandwidth(float64(l.lanes[Ingress]) * l.laneBW)
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link{egress=%d ingress=%d lanes}", l.lanes[Egress], l.lanes[Ingress])
+}
