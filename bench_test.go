@@ -6,17 +6,24 @@
 //	go test -bench=. -benchmem
 //
 // prints, next to the usual ns/op, the reproduced speedups and
-// efficiencies to compare against the paper (see EXPERIMENTS.md).
+// efficiencies to compare against the paper (see README.md).
 // Simulation runs are memoized across benchmarks within one process,
-// mirroring how the figures share baselines in the paper.
+// mirroring how the figures share baselines in the paper, and each
+// experiment's sweep executes on the harness worker pool (one
+// goroutine per core; override with -exp.j).
 package repro
 
 import (
+	"flag"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/exp"
 )
+
+var benchParallelism = flag.Int("exp.j", runtime.GOMAXPROCS(0),
+	"simulations the benchmark harness runs in parallel")
 
 var (
 	runnerOnce sync.Once
@@ -26,7 +33,7 @@ var (
 // benchRunner returns the shared reduced-scale harness.
 func benchRunner() *exp.Runner {
 	runnerOnce.Do(func() {
-		runner = exp.NewRunner(exp.Options{Divisor: 8, IterScale: 0.25})
+		runner = exp.NewRunner(exp.Options{Divisor: 8, IterScale: 0.25, Parallelism: *benchParallelism})
 	})
 	return runner
 }

@@ -14,6 +14,7 @@
 //	-iterscale f   scale workload iteration counts (default 1.0)
 //	-divisor n     architecture scale divisor vs the paper machine (default 8)
 //	-quick         shorthand for -iterscale 0.25
+//	-j n           simulations to run in parallel (default GOMAXPROCS)
 //	-csv dir       also write each experiment's table as CSV into dir
 //	-v             per-run progress on stderr
 package main
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/exp"
@@ -54,6 +56,7 @@ func main() {
 	iterScale := flag.Float64("iterscale", 1.0, "workload iteration scale")
 	divisor := flag.Int("divisor", 8, "architecture scale divisor")
 	quick := flag.Bool("quick", false, "quick mode (iterscale 0.25)")
+	parallel := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
 	flag.Usage = usage
@@ -63,7 +66,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale}
+	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale, Parallelism: *parallel}
 	if *quick {
 		opts.IterScale = 0.25
 	}

@@ -8,5 +8,5 @@
 //
 // The benchmarks in this package (bench_test.go) regenerate the paper's
 // experiments at a reduced scale; the cmd/numagpu binary runs them at
-// full scale. See README.md, DESIGN.md and EXPERIMENTS.md.
+// full scale. See README.md.
 package repro

@@ -1,13 +1,19 @@
 // Package exp is the experiment harness: one entry point per table and
 // figure of Milic et al. (MICRO 2017), each returning a rendered text
 // table plus a machine-readable summary used by the benchmark suite and
-// EXPERIMENTS.md. Runs are memoized so shared baselines (e.g. the
-// single-GPU reference) are simulated once per harness.
+// the README. Runs are memoized so shared baselines (e.g. the
+// single-GPU reference) are simulated once per harness, and every
+// experiment submits its full (config, workload) sweep up front through
+// RunAll, which executes the independent simulations on a worker pool
+// sized by Options.Parallelism while keeping result order — and thus
+// every rendered table — identical to the sequential harness.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -27,7 +33,13 @@ type Options struct {
 	// Workloads overrides the evaluated set (default: workload.Table()).
 	Workloads []workload.Spec
 	// Progress, when non-nil, receives one line per simulation run.
+	// Writes are serialized by the Runner; under parallelism the line
+	// order depends on completion order, but the set of lines does not.
 	Progress io.Writer
+	// Parallelism bounds the number of simulations RunAll executes
+	// concurrently. Default (and any value < 1): runtime.GOMAXPROCS(0).
+	// 1 reproduces the strictly sequential harness.
+	Parallelism int
 }
 
 // DefaultOptions is the reference harness size (minutes for the full
@@ -51,6 +63,9 @@ func (o Options) normalized() Options {
 	if o.Workloads == nil {
 		o.Workloads = workload.Table()
 	}
+	if o.Parallelism < 1 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -66,14 +81,35 @@ type Result struct {
 }
 
 // Runner executes and memoizes simulation runs for the harness.
+//
+// A Runner is safe for concurrent use: any number of goroutines may
+// call Run (or RunAll) simultaneously. Concurrent callers asking for
+// the same (config, workload) pair share a single simulation — the
+// first caller runs it, the rest block on its completion — so each
+// memo key is simulated exactly once per Runner lifetime.
 type Runner struct {
 	opts Options
-	memo map[string]core.Result
+
+	mu   sync.Mutex // guards memo (the map itself, not entry results)
+	memo map[string]*memoEntry
+
+	progressMu sync.Mutex // serializes Options.Progress writes
+}
+
+// memoEntry is the singleflight slot for one (config, workload) key:
+// the winning goroutine simulates inside once, everyone else blocks on
+// once.Do and then reads res, which once guarantees is visible. A
+// panicking simulation records its panic value so every caller of the
+// key re-raises it instead of reading a zero Result off the spent Once.
+type memoEntry struct {
+	once     sync.Once
+	res      core.Result
+	panicked any
 }
 
 // NewRunner builds a harness with the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.normalized(), memo: make(map[string]core.Result)}
+	return &Runner{opts: opts.normalized(), memo: make(map[string]*memoEntry)}
 }
 
 // Options reports the normalized options in use.
@@ -123,25 +159,99 @@ func cfgKey(c arch.Config) string {
 		c.LinkSampleTime, c.CacheSampleTime, c.LaneSwitchTime)
 }
 
-// Run simulates spec under cfg (memoized).
+// Run simulates spec under cfg (memoized). Concurrent calls for the
+// same pair share one simulation; see the Runner doc comment.
 func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 	key := cfgKey(cfg) + "|" + spec.Name
-	if res, ok := r.memo[key]; ok {
-		return res
+	r.mu.Lock()
+	e, ok := r.memo[key]
+	if !ok {
+		e = &memoEntry{}
+		r.memo[key] = e
 	}
-	sys := core.MustSystem(cfg)
-	res := sys.Run(spec.Program(r.opts.workloadOptions()))
-	res.Name = spec.Name
-	r.memo[key] = res
-	if r.opts.Progress != nil {
-		fmt.Fprintf(r.opts.Progress, "ran %-28s %-60s %12d cycles\n", spec.Name, cfgKey(cfg), res.Cycles)
+	r.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e.panicked = p
+			}
+		}()
+		sys := core.MustSystem(cfg)
+		res := sys.Run(spec.Program(r.opts.workloadOptions()))
+		res.Name = spec.Name
+		e.res = res
+		if r.opts.Progress != nil {
+			r.progressMu.Lock()
+			fmt.Fprintf(r.opts.Progress, "ran %-28s %-60s %12d cycles\n", spec.Name, cfgKey(cfg), res.Cycles)
+			r.progressMu.Unlock()
+		}
+	})
+	if e.panicked != nil {
+		panic(e.panicked)
 	}
-	return res
+	return e.res
 }
 
-// Single returns the single-GPU reference run for spec (memoized).
-func (r *Runner) Single(spec workload.Spec) core.Result {
-	return r.Run(r.Base(1), spec)
+// RunRequest names one (config, workload) simulation of a sweep.
+type RunRequest struct {
+	Cfg  arch.Config
+	Spec workload.Spec
+}
+
+// RunAll executes every requested simulation, at most
+// Options.Parallelism at a time, and returns the results in request
+// order: out[i] is the result of reqs[i]. Duplicate requests (and
+// requests whose key is already memoized) cost nothing extra — the
+// singleflight memo shares the one underlying simulation. Because each
+// simulation is deterministic and owns its engine, the returned slice
+// is identical to what a sequential loop over Run would produce. If
+// any simulation panics, RunAll finishes draining the sweep and then
+// re-raises one of the recorded panic values (the first to complete,
+// not necessarily the first in request order) on the caller's
+// goroutine.
+func (r *Runner) RunAll(reqs []RunRequest) []core.Result {
+	out := make([]core.Result, len(reqs))
+	par := r.opts.Parallelism
+	if par > len(reqs) {
+		par = len(reqs)
+	}
+	if par <= 1 {
+		for i, q := range reqs {
+			out[i] = r.Run(q.Cfg, q.Spec)
+		}
+		return out
+	}
+	var (
+		panicOnce sync.Once
+		panicVal  any
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panicOnce.Do(func() { panicVal = p })
+						}
+					}()
+					out[i] = r.Run(reqs[i].Cfg, reqs[i].Spec)
+				}()
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
 }
 
 // evaluated filters the configured workload set to the non-grey 32.

@@ -27,6 +27,9 @@ func TestOptionsNormalization(t *testing.T) {
 	if len(o.Workloads) != 41 {
 		t.Fatalf("default workload set %d, want 41", len(o.Workloads))
 	}
+	if o.Parallelism < 1 {
+		t.Fatalf("default parallelism %d, want >= 1 (GOMAXPROCS)", o.Parallelism)
+	}
 }
 
 func TestRunnerMemoization(t *testing.T) {

@@ -43,26 +43,29 @@ func Figure2(r *Runner) Result {
 // the locality-vs-theoretical gap, mirroring the paper's layout; the
 // grey set is annotated.
 func Figure3(r *Runner) Result {
+	specs := r.opts.Workloads
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs,
+			RunRequest{r.Base(1), spec},
+			RunRequest{r.Traditional(4), spec},
+			RunRequest{r.Base(4), spec},
+			RunRequest{r.Monolithic(4), spec})
+	}
+	res := r.RunAll(reqs)
 	type row struct {
 		name            string
 		trad, loc, mono float64
-		grey            bool
 	}
 	var rows []row
-	for _, spec := range r.opts.Workloads {
-		single := r.Single(spec)
-		trad := r.Run(r.Traditional(4), spec)
-		loc := r.Run(r.Base(4), spec)
-		mono := r.Run(r.Monolithic(4), spec)
+	for i, spec := range specs {
+		single := res[4*i]
 		rows = append(rows, row{
 			name: spec.Name,
-			trad: single.SpeedupOver(trad) /* inverse below */, grey: spec.Grey,
-			loc: 0, mono: 0,
+			trad: res[4*i+1].SpeedupOver(single),
+			loc:  res[4*i+2].SpeedupOver(single),
+			mono: res[4*i+3].SpeedupOver(single),
 		})
-		last := &rows[len(rows)-1]
-		last.trad = trad.SpeedupOver(single)
-		last.loc = loc.SpeedupOver(single)
-		last.mono = mono.SpeedupOver(single)
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		return rows[i].mono-rows[i].loc > rows[j].mono-rows[j].loc
@@ -95,7 +98,8 @@ func Figure3(r *Runner) Result {
 // Figure5 records the per-GPU link utilization profile of HPC-HPGMG-UVM
 // on the locality-optimized 4-socket baseline (Figure 5): asymmetric
 // saturation between directions and across GPU sockets, with kernel
-// launches marked.
+// launches marked. The profiled run needs its own instrumented system,
+// so it bypasses the Runner memo.
 func Figure5(r *Runner) Result {
 	spec, ok := workload.ByName("HPC-HPGMG-UVM")
 	if !ok {
@@ -158,43 +162,50 @@ func Figure5(r *Runner) Result {
 // locality-optimized 4-socket GPU with static symmetric links.
 func Figure6(r *Runner) Result {
 	sampleTimes := []int{1000, 5000, 20000}
-	t := stats.NewTable("Figure 6: dynamic link adaptivity speedup over static links (4-socket)",
-		"Workload", "Sample 1K", "Sample 5K", "Sample 20K", "2x Link BW")
-	speeds := make(map[string][]float64)
-	var order []workload.Spec
-	type scored struct {
-		spec workload.Spec
-		bw2  float64
-	}
-	var sc []scored
-	for _, spec := range r.evaluated() {
-		base := r.Run(r.Base(4), spec)
-		dbl := r.Base(4)
-		dbl.LaneBandwidth *= 2
-		bw2 := r.Run(dbl, spec).SpeedupOver(base)
-		sc = append(sc, scored{spec, bw2})
-	}
-	sort.Slice(sc, func(i, j int) bool { return sc[i].bw2 > sc[j].bw2 })
-	for _, s := range sc {
-		order = append(order, s.spec)
-	}
-	for _, spec := range order {
-		base := r.Run(r.Base(4), spec)
-		row := []any{spec.Name}
+	specs := r.evaluated()
+	dblCfg := r.Base(4)
+	dblCfg.LaneBandwidth *= 2
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs, RunRequest{r.Base(4), spec})
 		for _, st := range sampleTimes {
 			cfg := r.Base(4)
 			cfg.LinkMode = arch.LinkDynamic
 			cfg.LinkSampleTime = st
-			sp := r.Run(cfg, spec).SpeedupOver(base)
+			reqs = append(reqs, RunRequest{cfg, spec})
+		}
+		reqs = append(reqs, RunRequest{dblCfg, spec})
+	}
+	res := r.RunAll(reqs)
+	stride := len(sampleTimes) + 2 // base, one per sample time, 2x BW
+
+	// Rows are ordered by the 2× bandwidth headroom, mirroring the
+	// paper's most-to-least-link-bound layout.
+	type scored struct {
+		idx int
+		bw2 float64
+	}
+	var sc []scored
+	for i := range specs {
+		base := res[stride*i]
+		sc = append(sc, scored{i, res[stride*i+stride-1].SpeedupOver(base)})
+	}
+	sort.Slice(sc, func(i, j int) bool { return sc[i].bw2 > sc[j].bw2 })
+
+	t := stats.NewTable("Figure 6: dynamic link adaptivity speedup over static links (4-socket)",
+		"Workload", "Sample 1K", "Sample 5K", "Sample 20K", "2x Link BW")
+	speeds := make(map[string][]float64)
+	for _, s := range sc {
+		base := res[stride*s.idx]
+		row := []any{specs[s.idx].Name}
+		for j, st := range sampleTimes {
+			sp := res[stride*s.idx+1+j].SpeedupOver(base)
 			key := fmt.Sprintf("sample_%d", st)
 			speeds[key] = append(speeds[key], sp)
 			row = append(row, sp)
 		}
-		dbl := r.Base(4)
-		dbl.LaneBandwidth *= 2
-		sp2 := r.Run(dbl, spec).SpeedupOver(base)
-		speeds["bw2"] = append(speeds["bw2"], sp2)
-		row = append(row, sp2)
+		speeds["bw2"] = append(speeds["bw2"], s.bw2)
+		row = append(row, s.bw2)
 		t.AddRowf(row...)
 	}
 	sum := map[string]float64{}
@@ -215,17 +226,28 @@ func Figure6(r *Runner) Result {
 // lane turn cost of 10, 100 and 500 cycles at the 5K sample time.
 func SwitchTimeSensitivity(r *Runner) Result {
 	turns := []int{10, 100, 500}
-	t := stats.NewTable("Section 4.1: lane switch time sensitivity (speedup over static links)",
-		"Workload", "Turn 10cy", "Turn 100cy", "Turn 500cy")
-	speeds := make(map[int][]float64)
-	for _, spec := range r.evaluated() {
-		base := r.Run(r.Base(4), spec)
-		row := []any{spec.Name}
+	specs := r.evaluated()
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs, RunRequest{r.Base(4), spec})
 		for _, sw := range turns {
 			cfg := r.Base(4)
 			cfg.LinkMode = arch.LinkDynamic
 			cfg.LaneSwitchTime = sw
-			sp := r.Run(cfg, spec).SpeedupOver(base)
+			reqs = append(reqs, RunRequest{cfg, spec})
+		}
+	}
+	res := r.RunAll(reqs)
+	stride := len(turns) + 1
+
+	t := stats.NewTable("Section 4.1: lane switch time sensitivity (speedup over static links)",
+		"Workload", "Turn 10cy", "Turn 100cy", "Turn 500cy")
+	speeds := make(map[int][]float64)
+	for i, spec := range specs {
+		base := res[stride*i]
+		row := []any{spec.Name}
+		for j, sw := range turns {
+			sp := res[stride*i+1+j].SpeedupOver(base)
 			speeds[sw] = append(speeds[sw], sp)
 			row = append(row, sp)
 		}
@@ -248,29 +270,40 @@ func SwitchTimeSensitivity(r *Runner) Result {
 // partitioning (Figure 8).
 func Figure8(r *Runner) Result {
 	modes := []arch.CacheMode{arch.CacheStaticPartition, arch.CacheSharedCoherent, arch.CacheNUMAAware}
-	t := stats.NewTable("Figure 8: cache organizations, speedup over memory-side local-only L2 (4-socket)",
-		"Workload", "Static 50/50", "Shared Coherent", "NUMA-aware")
-	speeds := make(map[arch.CacheMode][]float64)
-	type scored struct {
-		spec workload.Spec
-		gain float64
-	}
-	var sc []scored
-	for _, spec := range r.evaluated() {
-		base := r.Run(r.Base(4), spec)
-		cfg := r.Base(4)
-		cfg.CacheMode = arch.CacheNUMAAware
-		sc = append(sc, scored{spec, r.Run(cfg, spec).SpeedupOver(base)})
-	}
-	sort.Slice(sc, func(i, j int) bool { return sc[i].gain > sc[j].gain })
-	for _, s := range sc {
-		spec := s.spec
-		base := r.Run(r.Base(4), spec)
-		row := []any{spec.Name}
+	specs := r.evaluated()
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs, RunRequest{r.Base(4), spec})
 		for _, m := range modes {
 			cfg := r.Base(4)
 			cfg.CacheMode = m
-			sp := r.Run(cfg, spec).SpeedupOver(base)
+			reqs = append(reqs, RunRequest{cfg, spec})
+		}
+	}
+	res := r.RunAll(reqs)
+	stride := len(modes) + 1
+	numaOff := stride - 1 // NUMA-aware is the last mode
+
+	// Rows ordered by the NUMA-aware gain, largest first.
+	type scored struct {
+		idx  int
+		gain float64
+	}
+	var sc []scored
+	for i := range specs {
+		base := res[stride*i]
+		sc = append(sc, scored{i, res[stride*i+numaOff].SpeedupOver(base)})
+	}
+	sort.Slice(sc, func(i, j int) bool { return sc[i].gain > sc[j].gain })
+
+	t := stats.NewTable("Figure 8: cache organizations, speedup over memory-side local-only L2 (4-socket)",
+		"Workload", "Static 50/50", "Shared Coherent", "NUMA-aware")
+	speeds := make(map[arch.CacheMode][]float64)
+	for _, s := range sc {
+		base := res[stride*s.idx]
+		row := []any{specs[s.idx].Name}
+		for j, m := range modes {
+			sp := res[stride*s.idx+1+j].SpeedupOver(base)
 			speeds[m] = append(speeds[m], sp)
 			row = append(row, sp)
 		}
@@ -293,15 +326,22 @@ func Figure8(r *Runner) Result {
 // L2: the NUMA-aware configuration against a hypothetical L2 that can
 // ignore invalidation events (Figure 9; paper average ≈10%).
 func Figure9(r *Runner) Result {
+	specs := r.evaluated()
+	var reqs []RunRequest
+	for _, spec := range specs {
+		cfg := r.NUMAAware(4)
+		hyp := cfg
+		hyp.NoL2Invalidate = true
+		reqs = append(reqs, RunRequest{cfg, spec}, RunRequest{hyp, spec})
+	}
+	res := r.RunAll(reqs)
+
 	t := stats.NewTable("Figure 9: overhead of SW coherence invalidations in the L2 (4-socket NUMA-aware)",
 		"Workload", "Slowdown vs no-invalidate L2")
 	var overheads []float64
-	for _, spec := range r.evaluated() {
-		cfg := r.NUMAAware(4)
-		real := r.Run(cfg, spec)
-		hyp := cfg
-		hyp.NoL2Invalidate = true
-		ideal := r.Run(hyp, spec)
+	for i, spec := range specs {
+		real := res[2*i]
+		ideal := res[2*i+1]
 		ov := float64(real.Cycles) / float64(maxU64(ideal.Cycles, 1))
 		overheads = append(overheads, ov)
 		t.AddRowf(spec.Name, ov)
@@ -318,14 +358,20 @@ func Figure9(r *Runner) Result {
 // write-through coherent L2 (paper: WB wins by ≈9% from reduced
 // inter-GPU write bandwidth).
 func WritePolicy(r *Runner) Result {
+	specs := r.evaluated()
+	var reqs []RunRequest
+	for _, spec := range specs {
+		wtCfg := r.NUMAAware(4)
+		wtCfg.L2WriteThrough = true
+		reqs = append(reqs, RunRequest{r.NUMAAware(4), spec}, RunRequest{wtCfg, spec})
+	}
+	res := r.RunAll(reqs)
+
 	t := stats.NewTable("Section 5.2: write-back vs write-through coherent L2 (4-socket NUMA-aware)",
 		"Workload", "WB speedup over WT", "WT link bytes / WB link bytes")
 	var speeds, traffic []float64
-	for _, spec := range r.evaluated() {
-		wb := r.Run(r.NUMAAware(4), spec)
-		wtCfg := r.NUMAAware(4)
-		wtCfg.L2WriteThrough = true
-		wt := r.Run(wtCfg, spec)
+	for i, spec := range specs {
+		wb, wt := res[2*i], res[2*i+1]
 		sp := wb.SpeedupOver(wt)
 		speeds = append(speeds, sp)
 		tr := float64(wt.LinkBytes) / maxF(float64(wb.LinkBytes), 1)
@@ -343,24 +389,35 @@ func WritePolicy(r *Runner) Result {
 // Figure10 shows the combined effect of both mechanisms versus each in
 // isolation, against the single GPU and the 4× larger GPU (Figure 10).
 func Figure10(r *Runner) Result {
+	specs := r.evaluated()
+	linkOnly := r.Base(4)
+	linkOnly.LinkMode = arch.LinkDynamic
+	cacheOnly := r.Base(4)
+	cacheOnly.CacheMode = arch.CacheNUMAAware
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs,
+			RunRequest{r.Base(1), spec},
+			RunRequest{r.Base(4), spec},
+			RunRequest{linkOnly, spec},
+			RunRequest{cacheOnly, spec},
+			RunRequest{r.NUMAAware(4), spec},
+			RunRequest{r.Monolithic(4), spec})
+	}
+	res := r.RunAll(reqs)
+	const stride = 6
+
 	t := stats.NewTable("Figure 10: combined NUMA-aware GPU vs single GPU (4-socket)",
 		"Workload", "SW baseline", "+Dynamic links", "+NUMA caches", "Combined", "4x larger GPU")
 	agg := make(map[string][]float64)
-	for _, spec := range r.evaluated() {
-		single := r.Single(spec)
-		base := r.Run(r.Base(4), spec)
-		linkOnly := r.Base(4)
-		linkOnly.LinkMode = arch.LinkDynamic
-		cacheOnly := r.Base(4)
-		cacheOnly.CacheMode = arch.CacheNUMAAware
-		comb := r.NUMAAware(4)
-		mono := r.Monolithic(4)
+	for i, spec := range specs {
+		single := res[stride*i]
 		vals := map[string]float64{
-			"base":  base.SpeedupOver(single),
-			"link":  r.Run(linkOnly, spec).SpeedupOver(single),
-			"cache": r.Run(cacheOnly, spec).SpeedupOver(single),
-			"comb":  r.Run(comb, spec).SpeedupOver(single),
-			"mono":  r.Run(mono, spec).SpeedupOver(single),
+			"base":  res[stride*i+1].SpeedupOver(single),
+			"link":  res[stride*i+2].SpeedupOver(single),
+			"cache": res[stride*i+3].SpeedupOver(single),
+			"comb":  res[stride*i+4].SpeedupOver(single),
+			"mono":  res[stride*i+5].SpeedupOver(single),
 		}
 		for k, v := range vals {
 			agg[k] = append(agg[k], v)
@@ -384,29 +441,36 @@ func Figure10(r *Runner) Result {
 // at 89%/84%/76% efficiency).
 func Figure11(r *Runner) Result {
 	sockets := []int{2, 4, 8}
+	specs := r.opts.Workloads
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs, RunRequest{r.Base(1), spec})
+		for _, n := range sockets {
+			reqs = append(reqs, RunRequest{r.NUMAAware(n), spec})
+		}
+		for _, n := range sockets {
+			reqs = append(reqs, RunRequest{r.Monolithic(n), spec})
+		}
+	}
+	res := r.RunAll(reqs)
+	stride := 1 + 2*len(sockets)
+
 	t := stats.NewTable("Figure 11: NUMA-aware GPU scalability vs hypothetical larger single GPUs",
 		"Workload", "2-socket", "4-socket", "8-socket", "2x GPU", "4x GPU", "8x GPU")
 	numa := map[int][]float64{}
 	mono := map[int][]float64{}
-	for _, spec := range r.opts.Workloads {
-		single := r.Single(spec)
+	for i, spec := range specs {
+		single := res[stride*i]
 		row := []any{spec.Name}
-		var nvals, mvals []float64
-		for _, n := range sockets {
-			sp := r.Run(r.NUMAAware(n), spec).SpeedupOver(single)
+		for j, n := range sockets {
+			sp := res[stride*i+1+j].SpeedupOver(single)
 			numa[n] = append(numa[n], sp)
-			nvals = append(nvals, sp)
+			row = append(row, sp)
 		}
-		for _, n := range sockets {
-			sp := r.Run(r.Monolithic(n), spec).SpeedupOver(single)
+		for j, n := range sockets {
+			sp := res[stride*i+1+len(sockets)+j].SpeedupOver(single)
 			mono[n] = append(mono[n], sp)
-			mvals = append(mvals, sp)
-		}
-		for _, v := range nvals {
-			row = append(row, v)
-		}
-		for _, v := range mvals {
-			row = append(row, v)
+			row = append(row, sp)
 		}
 		t.AddRowf(row...)
 	}
@@ -433,15 +497,20 @@ func Figure11(r *Runner) Result {
 // reported at paper-scale link widths (utilization-preserving scaling
 // by the architecture divisor).
 func Power(r *Runner) Result {
+	specs := r.opts.Workloads
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs, RunRequest{r.Base(4), spec}, RunRequest{r.NUMAAware(4), spec})
+	}
+	res := r.RunAll(reqs)
+
 	t := stats.NewTable("Section 6: interconnect power at 10pJ/b (4-socket, paper-scale watts)",
 		"Workload", "Baseline W", "NUMA-aware W")
 	var baseW, numaW []float64
 	scale := float64(r.opts.Divisor)
-	for _, spec := range r.opts.Workloads {
-		base := r.Run(r.Base(4), spec)
-		na := r.Run(r.NUMAAware(4), spec)
-		bw := base.InterconnectPower() * scale
-		nw := na.InterconnectPower() * scale
+	for i, spec := range specs {
+		bw := res[2*i].InterconnectPower() * scale
+		nw := res[2*i+1].InterconnectPower() * scale
 		baseW = append(baseW, bw)
 		numaW = append(numaW, nw)
 		t.AddRowf(spec.Name, bw, nw)
@@ -485,19 +554,29 @@ func maxSlice(vs []float64) float64 {
 // from 4 coarser lanes instead of 8, halving the balancer's
 // reconfiguration resolution.
 func LaneGranularity(r *Runner) Result {
+	specs := r.evaluated()
+	fine8 := r.Base(4)
+	fine8.LinkMode = arch.LinkDynamic
+	coarse4 := fine8
+	coarse4.LanesPerDir = 4
+	coarse4.LaneBandwidth *= 2
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs,
+			RunRequest{r.Base(4), spec},
+			RunRequest{fine8, spec},
+			RunRequest{coarse4, spec})
+	}
+	res := r.RunAll(reqs)
+
 	t := stats.NewTable("Ablation: lane granularity under dynamic balancing (speedup over static links)",
 		"Workload", "8 lanes x 1/8 BW", "4 lanes x 1/4 BW")
 	fine := make([]float64, 0, 32)
 	coarse := make([]float64, 0, 32)
-	for _, spec := range r.evaluated() {
-		base := r.Run(r.Base(4), spec)
-		f := r.Base(4)
-		f.LinkMode = arch.LinkDynamic
-		sp8 := r.Run(f, spec).SpeedupOver(base)
-		c := f
-		c.LanesPerDir = 4
-		c.LaneBandwidth *= 2
-		sp4 := r.Run(c, spec).SpeedupOver(base)
+	for i, spec := range specs {
+		base := res[3*i]
+		sp8 := res[3*i+1].SpeedupOver(base)
+		sp4 := res[3*i+2].SpeedupOver(base)
 		fine = append(fine, sp8)
 		coarse = append(coarse, sp4)
 		t.AddRowf(spec.Name, sp8, sp4)
@@ -517,18 +596,25 @@ func LaneGranularity(r *Runner) Result {
 // partition), reporting how much of the big machine's performance one
 // quarter of it already delivers.
 func MultiTenancy(r *Runner) Result {
-	t := stats.NewTable("Section 6: small workloads on a partitioned vs whole NUMA GPU",
-		"Workload", "Paper CTAs", "4-socket speedup vs 1 socket", "1/4 partition delivers")
-	var fractions []float64
+	var specs []workload.Spec
 	for _, spec := range r.opts.Workloads {
 		// "Small": the paper's own Figure 2 threshold — grids that
 		// cannot fill even today's single GPU at 2×.
-		if spec.PaperCTAs >= 2*baselineSMs {
-			continue
+		if spec.PaperCTAs < 2*baselineSMs {
+			specs = append(specs, spec)
 		}
-		single := r.Single(spec)
-		whole := r.Run(r.NUMAAware(4), spec)
-		sp := whole.SpeedupOver(single)
+	}
+	var reqs []RunRequest
+	for _, spec := range specs {
+		reqs = append(reqs, RunRequest{r.Base(1), spec}, RunRequest{r.NUMAAware(4), spec})
+	}
+	res := r.RunAll(reqs)
+
+	t := stats.NewTable("Section 6: small workloads on a partitioned vs whole NUMA GPU",
+		"Workload", "Paper CTAs", "4-socket speedup vs 1 socket", "1/4 partition delivers")
+	var fractions []float64
+	for i, spec := range specs {
+		sp := res[2*i+1].SpeedupOver(res[2*i])
 		frac := 1 / sp
 		fractions = append(fractions, frac)
 		t.AddRowf(spec.Name, spec.PaperCTAs, sp, frac)
