@@ -7,7 +7,7 @@
 //	numagpu [flags] <experiment>...
 //
 // Experiments: table1 table2 fig2 fig3 fig5 fig6 fig8 fig9 fig10 fig11
-// switchtime writepolicy power all
+// switchtime writepolicy power lanegran tenancy all
 //
 // Flags:
 //
@@ -16,12 +16,21 @@
 //	-quick         shorthand for -iterscale 0.25
 //	-j n           simulations to run in parallel (default GOMAXPROCS)
 //	-csv dir       also write each experiment's table as CSV into dir
+//	-json          print each experiment as a JSON object instead of text
 //	-v             per-run progress on stderr
+//
+// See docs/EXPERIMENTS.md for what each experiment reproduces and the
+// meaning of its summary keys. The long-running numagpud daemon
+// (cmd/numagpud) serves the same experiments over HTTP with a
+// persistent result cache.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,87 +39,86 @@ import (
 	"repro/internal/exp"
 )
 
-var experiments = []struct {
-	name string
-	desc string
-	run  func(*exp.Runner) exp.Result
-}{
-	{"table1", "simulation parameters", exp.Table1},
-	{"table2", "workload inventory", exp.Table2},
-	{"fig2", "workloads filling larger GPUs", exp.Figure2},
-	{"fig3", "SW locality vs traditional policies", exp.Figure3},
-	{"fig5", "link utilization profile (HPGMG-UVM)", exp.Figure5},
-	{"fig6", "dynamic link adaptivity vs sample time", exp.Figure6},
-	{"fig8", "cache organizations", exp.Figure8},
-	{"fig9", "SW coherence overhead in L2", exp.Figure9},
-	{"fig10", "combined improvement", exp.Figure10},
-	{"fig11", "2/4/8-socket scalability", exp.Figure11},
-	{"switchtime", "lane turn time sensitivity (Sec 4.1)", exp.SwitchTimeSensitivity},
-	{"writepolicy", "write-back vs write-through L2 (Sec 5.2)", exp.WritePolicy},
-	{"power", "interconnect power (Sec 6)", exp.Power},
-	{"lanegran", "lane granularity ablation", exp.LaneGranularity},
-	{"tenancy", "small workloads on partitioned GPUs (Sec 6)", exp.MultiTenancy},
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	iterScale := flag.Float64("iterscale", 1.0, "workload iteration scale")
-	divisor := flag.Int("divisor", 8, "architecture scale divisor")
-	quick := flag.Bool("quick", false, "quick mode (iterscale 0.25)")
-	parallel := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
-	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
-	verbose := flag.Bool("v", false, "per-run progress on stderr")
-	flag.Usage = usage
-	flag.Parse()
+// run is main with its environment injected for tests: it parses args,
+// executes the requested experiments, and returns the process exit code
+// (0 success, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("numagpu", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	iterScale := fs.Float64("iterscale", 1.0, "workload iteration scale")
+	divisor := fs.Int("divisor", 8, "architecture scale divisor")
+	quick := fs.Bool("quick", false, "quick mode (iterscale 0.25)")
+	parallel := fs.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
+	csvDir := fs.String("csv", "", "also write each experiment's table as CSV into this directory")
+	jsonOut := fs.Bool("json", false, "print each experiment as a JSON object instead of text")
+	verbose := fs.Bool("v", false, "per-run progress on stderr")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/--help is a success, matching the old ExitOnError behaviour
+		}
+		return 2
+	}
 
-	if flag.NArg() == 0 {
-		usage()
-		os.Exit(2)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale, Parallelism: *parallel}
 	if *quick {
 		opts.IterScale = 0.25
 	}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts.Progress = stderr
 	}
 	runner := exp.NewRunner(opts)
 
-	names := flag.Args()
+	names := fs.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = nil
-		for _, e := range experiments {
-			names = append(names, e.name)
+		for _, e := range exp.Experiments() {
+			names = append(names, e.Name)
 		}
 	}
 	for _, name := range names {
-		found := false
-		for _, e := range experiments {
-			if e.name != name {
-				continue
-			}
-			found = true
-			start := time.Now()
-			res := e.run(runner)
-			fmt.Println(res.Table.String())
-			if *csvDir != "" {
-				path := filepath.Join(*csvDir, e.name+".csv")
-				if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-					os.Exit(1)
-				}
-			}
-			fmt.Printf("summary:")
-			for _, k := range sortedKeys(res.Summary) {
-				fmt.Printf(" %s=%.3f", k, res.Summary[k])
-			}
-			fmt.Printf("\nelapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+		e, ok := exp.ExperimentByName(name)
+		if !ok {
+			fmt.Fprintf(stderr, "unknown experiment %q\n", name)
+			fs.Usage()
+			return 2
 		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			usage()
-			os.Exit(2)
+		start := time.Now()
+		res := e.Run(runner)
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(e.Named(res)); err != nil {
+				fmt.Fprintf(stderr, "json: %v\n", err)
+				return 1
+			}
+		} else {
+			fmt.Fprintln(stdout, res.Table.String())
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.Name+".csv")
+			if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(stderr, "csv: %v\n", err)
+				return 1
+			}
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "summary:")
+			for _, k := range sortedKeys(res.Summary) {
+				fmt.Fprintf(stdout, " %s=%.3f", k, res.Summary[k])
+			}
+			fmt.Fprintf(stdout, "\nelapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return 0
 }
 
 func sortedKeys(m map[string]float64) []string {
@@ -126,11 +134,11 @@ func sortedKeys(m map[string]float64) []string {
 	return keys
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: numagpu [flags] <experiment>...\n\nexperiments:\n")
-	for _, e := range experiments {
-		fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.name, e.desc)
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, "usage: numagpu [flags] <experiment>...\n\nexperiments:\n")
+	for _, e := range exp.Experiments() {
+		fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Desc)
 	}
-	fmt.Fprintf(os.Stderr, "  %-12s run everything\n\nflags:\n", "all")
-	flag.PrintDefaults()
+	fmt.Fprintf(w, "  %-12s run everything\n\nflags:\n", "all")
+	fs.PrintDefaults()
 }

@@ -1,23 +1,33 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
 
 func TestExperimentRegistry(t *testing.T) {
 	seen := map[string]bool{}
-	for _, e := range experiments {
-		if e.name == "" || e.desc == "" || e.run == nil {
+	for _, e := range exp.Experiments() {
+		if e.Name == "" || e.Desc == "" || e.Run == nil {
 			t.Fatalf("incomplete registry entry %+v", e)
 		}
-		if seen[e.name] {
-			t.Fatalf("duplicate experiment name %q", e.name)
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment name %q", e.Name)
 		}
-		if e.name == "all" {
+		if e.Name == "all" {
 			t.Fatal("'all' is reserved")
 		}
-		seen[e.name] = true
+		seen[e.Name] = true
 	}
 	for _, want := range []string{"table1", "table2", "fig2", "fig3", "fig5", "fig6",
-		"fig8", "fig9", "fig10", "fig11", "switchtime", "writepolicy", "power"} {
+		"fig8", "fig9", "fig10", "fig11", "switchtime", "writepolicy", "power",
+		"lanegran", "tenancy"} {
 		if !seen[want] {
 			t.Fatalf("missing experiment %q", want)
 		}
@@ -29,5 +39,127 @@ func TestSortedKeys(t *testing.T) {
 	keys := sortedKeys(m)
 	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
 		t.Fatalf("sortedKeys = %v", keys)
+	}
+}
+
+// The run() tests below only use experiments that need no simulation
+// (table1, table2, fig2 are pure config/metadata), so they are fast
+// even at full default scale.
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunNoArgsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage: numagpu") || !strings.Contains(stderr, "lanegran") {
+		t.Fatalf("usage must list every experiment:\n%s", stderr)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit %d, want 0 (scripts smoke-test with it)", code)
+	}
+	if !strings.Contains(stderr, "usage: numagpu") {
+		t.Fatalf("-h must print usage:\n%s", stderr)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCLI(t, "figNaN")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown experiment "figNaN"`) {
+		t.Fatalf("stderr missing unknown-experiment diagnostic:\n%s", stderr)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	code, _, stderr := runCLI(t, "-j", "not-a-number", "fig2")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "invalid value") {
+		t.Fatalf("stderr missing flag parse error:\n%s", stderr)
+	}
+}
+
+func TestRunTextOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-j", "2", "fig2")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "Figure 2") || !strings.Contains(stdout, "summary:") {
+		t.Fatalf("text output missing table or summary:\n%s", stdout)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "fig2")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	var payload struct {
+		Experiment string `json:"experiment"`
+		Table      struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"table"`
+		Summary map[string]float64 `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &payload); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if payload.Experiment != "fig2" || len(payload.Table.Columns) != 4 || len(payload.Table.Rows) != 4 {
+		t.Fatalf("unexpected JSON payload: %+v", payload)
+	}
+	if payload.Summary["fill_1x_pct"] != 100 {
+		t.Fatalf("summary lost in JSON: %v", payload.Summary)
+	}
+	if strings.Contains(stdout, "summary:") || strings.Contains(stdout, "elapsed:") {
+		t.Fatalf("-json must suppress the text epilogue:\n%s", stdout)
+	}
+}
+
+func TestRunJSONDeterministic(t *testing.T) {
+	_, a, _ := runCLI(t, "-json", "table2")
+	_, b, _ := runCLI(t, "-json", "table2")
+	if a != b {
+		t.Fatal("-json output must be byte-identical across runs")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t, "-csv", dir, "table2")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(b), "Workload,") {
+		t.Fatalf("csv header wrong: %q", string(b[:40]))
+	}
+}
+
+func TestRunCSVBadDir(t *testing.T) {
+	code, _, stderr := runCLI(t, "-csv", filepath.Join(t.TempDir(), "missing", "nested"), "table1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "csv:") {
+		t.Fatalf("stderr missing csv error:\n%s", stderr)
 	}
 }

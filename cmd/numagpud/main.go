@@ -1,0 +1,109 @@
+// Command numagpud is the long-running simulation service: it serves
+// the paper's experiments and arbitrary (config, workload) sweeps over
+// an HTTP/JSON API, shares one concurrent singleflight harness across
+// all requests, and persists every simulation result in a
+// content-addressed disk cache so warm results survive restarts.
+//
+// Usage:
+//
+//	numagpud [flags]
+//
+// Flags:
+//
+//	-addr host:port   listen address (default 127.0.0.1:8377)
+//	-cache dir        persistent result cache directory (default
+//	                  "numagpud-cache" under the current directory);
+//	                  empty disables persistence
+//	-iterscale f      scale workload iteration counts (default 1.0)
+//	-divisor n        architecture scale divisor vs the paper machine (default 8)
+//	-maxctas n        cap grid sizes (0 = uncapped)
+//	-quick            shorthand for -iterscale 0.25
+//	-j n              simulations to run in parallel per sweep (default GOMAXPROCS)
+//	-workers n        concurrent jobs (default 2)
+//	-v                mirror per-run progress to stderr
+//
+// A quick session:
+//
+//	numagpud -cache /var/cache/numagpud &
+//	curl -X POST localhost:8377/v1/experiments/fig11
+//	curl localhost:8377/v1/jobs/job-1
+//	curl localhost:8377/v1/jobs/job-1/result
+//	curl localhost:8377/metrics
+//
+// See the internal/service package documentation for the full API and
+// README.md ("Running the service") for a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/exp"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	cacheDir := flag.String("cache", "numagpud-cache", "persistent result cache directory (empty disables)")
+	iterScale := flag.Float64("iterscale", 1.0, "workload iteration scale")
+	divisor := flag.Int("divisor", 8, "architecture scale divisor")
+	maxCTAs := flag.Int("maxctas", 0, "cap grid sizes (0 = uncapped)")
+	quick := flag.Bool("quick", false, "quick mode (iterscale 0.25)")
+	parallel := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel per sweep")
+	workers := flag.Int("workers", 2, "jobs executing concurrently")
+	verbose := flag.Bool("v", false, "mirror per-run progress to stderr")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: numagpud [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := exp.Options{
+		Divisor:     *divisor,
+		IterScale:   *iterScale,
+		MaxCTAs:     *maxCTAs,
+		Parallelism: *parallel,
+	}
+	if *quick {
+		opts.IterScale = 0.25
+	}
+	cfg := service.Config{Options: opts, CacheDir: *cacheDir, Workers: *workers}
+	if *verbose {
+		cfg.Mirror = os.Stderr
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("numagpud: %v", err)
+	}
+
+	if *cacheDir != "" {
+		log.Printf("numagpud: result cache at %s", *cacheDir)
+	} else {
+		log.Printf("numagpud: persistent cache disabled")
+	}
+	log.Printf("numagpud: listening on http://%s (divisor %d, iterscale %g, %d workers × %d-way sweeps)",
+		*addr, *divisor, opts.IterScale, *workers, *parallel)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	go func() {
+		<-ctx.Done()
+		hs.Shutdown(context.Background())
+	}()
+	err = hs.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		log.Printf("numagpud: shutdown signal received, draining jobs")
+		srv.Close() // waits for queued and running jobs
+		return
+	}
+	log.Fatalf("numagpud: %v", err)
+}

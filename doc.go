@@ -8,5 +8,8 @@
 //
 // The benchmarks in this package (bench_test.go) regenerate the paper's
 // experiments at a reduced scale; the cmd/numagpu binary runs them at
-// full scale. See README.md.
+// full scale, and the cmd/numagpud daemon serves them over HTTP/JSON
+// with a persistent result cache. See README.md for usage,
+// ARCHITECTURE.md for the layering and determinism contract, and
+// docs/EXPERIMENTS.md for what each experiment reproduces.
 package repro

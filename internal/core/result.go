@@ -10,32 +10,35 @@ import (
 const InterconnectEnergyPerBit = 10e-12
 
 // Result captures everything the experiment harness needs from one run.
+// The json tags define the stable wire format used by the numagpud
+// service and its disk-backed result cache; renaming a tag invalidates
+// persisted cache entries, so treat them as a public API.
 type Result struct {
-	Name   string
-	Cycles uint64 // end-to-end cycles including final drain
+	Name   string `json:"name"`
+	Cycles uint64 `json:"cycles"` // end-to-end cycles including final drain
 
-	KernelCycles []uint64 // per-kernel execution time
+	KernelCycles []uint64 `json:"kernel_cycles,omitempty"` // per-kernel execution time
 
-	Instructions uint64 // warp instructions issued
-	Loads        uint64
-	Stores       uint64
+	Instructions uint64 `json:"instructions"` // warp instructions issued
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
 
 	// Locality.
-	RemoteAccessFraction float64 // fraction of mem accesses homed remotely
+	RemoteAccessFraction float64 `json:"remote_access_fraction"` // fraction of mem accesses homed remotely
 
 	// Cache behaviour (aggregated over sockets/SMs).
-	L1HitRate       float64
-	L2LocalHitRate  float64
-	L2RemoteHitRate float64
+	L1HitRate       float64 `json:"l1_hit_rate"`
+	L2LocalHitRate  float64 `json:"l2_local_hit_rate"`
+	L2RemoteHitRate float64 `json:"l2_remote_hit_rate"`
 
 	// Interconnect.
-	LinkBytes  uint64 // both directions, all links
-	LaneTurns  uint64
-	WayShifts  uint64
-	FlushLines uint64
+	LinkBytes  uint64 `json:"link_bytes"` // both directions, all links
+	LaneTurns  uint64 `json:"lane_turns"`
+	WayShifts  uint64 `json:"way_shifts"`
+	FlushLines uint64 `json:"flush_lines"`
 
 	// DRAM.
-	DRAMBytes uint64
+	DRAMBytes uint64 `json:"dram_bytes"`
 }
 
 // Seconds converts cycles to wall-clock seconds at the 1GHz clock.

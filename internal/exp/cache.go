@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Cache is a pluggable second-level result store layered under the
+// Runner's in-memory singleflight memo. On a memo miss the Runner asks
+// the Cache before simulating; on a simulation it writes the result
+// back. Implementations must be safe for concurrent use and may drop
+// entries freely (the cache is an optimization, never a source of
+// truth). The disk-backed implementation lives in internal/service.
+//
+// Keys are produced by Runner.RunKey and are stable across processes:
+// they encode every architectural parameter, the workload name, and
+// the workload scaling options, so a persisted result is only reused
+// for a byte-identical simulation setup.
+type Cache interface {
+	// Get returns the cached result for key, if present.
+	Get(key string) (core.Result, bool)
+	// Put stores the result of a completed simulation under key.
+	Put(key string, res core.Result)
+}
+
+// Stats counts what a Runner actually did, distinguishing real
+// simulations from results served by the second-level cache. Memo hits
+// (repeats within one Runner lifetime) appear in neither counter: they
+// never leave the in-memory singleflight layer.
+type Stats struct {
+	// Simulations is the number of simulations executed by this Runner.
+	Simulations uint64
+	// CacheHits counts runs served from Options.Cache without
+	// simulating.
+	CacheHits uint64
+	// CacheMisses counts cache lookups that fell through to a
+	// simulation (only runs with a configured Cache are counted).
+	CacheMisses uint64
+}
+
+// Stats reports a snapshot of the Runner's run counters. It is safe to
+// call concurrently with Run/RunAll.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Simulations: r.sims.Load(),
+		CacheHits:   r.cacheHits.Load(),
+		CacheMisses: r.cacheMisses.Load(),
+	}
+}
+
+// cacheSchema versions the persistent cache namespace. Bump it
+// whenever the simulator's behaviour changes in a result-affecting way
+// that the key inputs cannot see (event ordering, policy logic,
+// workload generation), so stale results from an older binary are
+// misses rather than silently served as current.
+const cacheSchema = 1
+
+// RunKey returns the content address of one (config, workload) run
+// under this Runner's options: a schema version, every field of the
+// architectural configuration (cfgKey's policy-study fields plus the
+// fixed machine parameters it elides for brevity), the workload name,
+// and the workload scaling parameters (IterScale, MaxCTAs). Two
+// Runners — in the same process or across restarts — produce the same
+// key exactly when Run would produce the same Result, which is what
+// makes the key safe to use for a persistent Cache.
+//
+// The workload is identified by Spec.Name: callers substituting a
+// custom Spec under an existing table name must not share a Cache with
+// runs of the table workload.
+func (r *Runner) RunKey(cfg arch.Config, spec workload.Spec) string {
+	return fmt.Sprintf("v%d|%s.%s|%s|iter%g.cap%d",
+		cacheSchema, cfgKey(cfg), machineKey(cfg), spec.Name, r.opts.IterScale, r.opts.MaxCTAs)
+}
+
+// machineKey fingerprints the arch.Config fields cfgKey leaves out:
+// the machine parameters that are constant within one harness but
+// differ across divisors, hand-built configs, or future PaperConfig
+// revisions. Together cfgKey + machineKey cover every Config field.
+func machineKey(c arch.Config) string {
+	return fmt.Sprintf("w%d.cta%d.iw%d.l1_%d/%d/%d.l2_%d/%d/%d.noc%g/%d.dl%d.ll%d.sl%d.hdr%d/%d",
+		c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.IssueWidth,
+		c.L1Bytes, c.L1Assoc, c.L1Latency,
+		c.L2Assoc, c.L2Banks, c.L2Latency,
+		c.NoCBandwidth, c.NoCLatency, c.DRAMLatency,
+		c.LinkLatency, c.SwitchLatency,
+		c.RequestHeader, c.ResponseHeader)
+}
+
+// counters holds the Runner's atomic run accounting; embedded so the
+// zero value is ready to use.
+type counters struct {
+	sims        atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+}

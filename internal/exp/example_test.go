@@ -1,0 +1,46 @@
+package exp_test
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// ExampleNewRunner builds a small harness over a single workload and
+// runs it on the 2-socket locality-optimized baseline. Options scale
+// the architecture (Divisor) and the workload (IterScale, MaxCTAs) so
+// the example finishes in milliseconds.
+func ExampleNewRunner() {
+	spec, _ := workload.ByName("Other-Stream-Triad")
+	r := exp.NewRunner(exp.Options{
+		Divisor:   16,
+		IterScale: 0.1,
+		MaxCTAs:   32,
+		Workloads: []workload.Spec{spec},
+	})
+	res := r.Run(r.Base(2), spec)
+	fmt.Println(res.Name, res.Cycles > 0)
+	// Output: Other-Stream-Triad true
+}
+
+// ExampleRunner_RunAll submits a sweep with a duplicate request: the
+// singleflight memo shares one simulation between the duplicates, so
+// three results come back from two simulations.
+func ExampleRunner_RunAll() {
+	spec, _ := workload.ByName("Other-Stream-Triad")
+	r := exp.NewRunner(exp.Options{
+		Divisor:   16,
+		IterScale: 0.1,
+		MaxCTAs:   32,
+		Workloads: []workload.Spec{spec},
+	})
+	reqs := []exp.RunRequest{
+		{Cfg: r.Base(2), Spec: spec},
+		{Cfg: r.Base(2), Spec: spec}, // duplicate: shared, not re-simulated
+		{Cfg: r.NUMAAware(2), Spec: spec},
+	}
+	results := r.RunAll(reqs)
+	fmt.Println(len(results), "results from", r.Stats().Simulations, "simulations")
+	// Output: 3 results from 2 simulations
+}

@@ -6,7 +6,11 @@
 // experiment submits its full (config, workload) sweep up front through
 // RunAll, which executes the independent simulations on a worker pool
 // sized by Options.Parallelism while keeping result order — and thus
-// every rendered table — identical to the sequential harness.
+// every rendered table — identical to the sequential harness. A
+// pluggable second-level Cache (Options.Cache) persists results below
+// the memo; the numagpud service (internal/service) layers a
+// disk-backed implementation under a shared Runner so results survive
+// restarts. See ARCHITECTURE.md for the full design.
 package exp
 
 import (
@@ -40,6 +44,10 @@ type Options struct {
 	// concurrently. Default (and any value < 1): runtime.GOMAXPROCS(0).
 	// 1 reproduces the strictly sequential harness.
 	Parallelism int
+	// Cache, when non-nil, is consulted before every simulation and
+	// updated after it: a second-level, typically persistent store
+	// below the in-memory memo. See the Cache interface.
+	Cache Cache
 }
 
 // DefaultOptions is the reference harness size (minutes for the full
@@ -74,10 +82,12 @@ func (o Options) workloadOptions() workload.Options {
 }
 
 // Result couples a printable table with the headline numbers of one
-// experiment.
+// experiment. It marshals to the {"table","summary"} JSON served by
+// numagpud and printed by cmd/numagpu -json; encoding/json sorts the
+// summary keys, so the encoding is deterministic.
 type Result struct {
-	Table   *stats.Table
-	Summary map[string]float64
+	Table   *stats.Table       `json:"table"`
+	Summary map[string]float64 `json:"summary"`
 }
 
 // Runner executes and memoizes simulation runs for the harness.
@@ -94,6 +104,8 @@ type Runner struct {
 	memo map[string]*memoEntry
 
 	progressMu sync.Mutex // serializes Options.Progress writes
+
+	counters // simulation / cache-hit / cache-miss accounting
 }
 
 // memoEntry is the singleflight slot for one (config, workload) key:
@@ -161,8 +173,11 @@ func cfgKey(c arch.Config) string {
 
 // Run simulates spec under cfg (memoized). Concurrent calls for the
 // same pair share one simulation; see the Runner doc comment.
+// With Options.Cache set, a memo miss first consults the cache
+// (counted in Stats) and only simulates — then writes back — on a
+// cache miss, so warm results cost one Get instead of a simulation.
 func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
-	key := cfgKey(cfg) + "|" + spec.Name
+	key := r.RunKey(cfg, spec)
 	r.mu.Lock()
 	e, ok := r.memo[key]
 	if !ok {
@@ -176,10 +191,23 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 				e.panicked = p
 			}
 		}()
+		if c := r.opts.Cache; c != nil {
+			if res, ok := c.Get(key); ok {
+				res.Name = spec.Name
+				e.res = res
+				r.cacheHits.Add(1)
+				return
+			}
+			r.cacheMisses.Add(1)
+		}
 		sys := core.MustSystem(cfg)
 		res := sys.Run(spec.Program(r.opts.workloadOptions()))
 		res.Name = spec.Name
 		e.res = res
+		r.sims.Add(1)
+		if c := r.opts.Cache; c != nil {
+			c.Put(key, res)
+		}
 		if r.opts.Progress != nil {
 			r.progressMu.Lock()
 			fmt.Fprintf(r.opts.Progress, "ran %-28s %-60s %12d cycles\n", spec.Name, cfgKey(cfg), res.Cycles)

@@ -9,28 +9,10 @@ import (
 	"repro/internal/workload"
 )
 
-// experimentFns enumerates every table/figure entry point so the
-// determinism test cannot silently miss one added later.
-var experimentFns = []struct {
-	name string
-	run  func(*Runner) Result
-}{
-	{"table1", Table1},
-	{"table2", Table2},
-	{"fig2", Figure2},
-	{"fig3", Figure3},
-	{"fig5", Figure5},
-	{"fig6", Figure6},
-	{"fig8", Figure8},
-	{"fig9", Figure9},
-	{"fig10", Figure10},
-	{"fig11", Figure11},
-	{"switchtime", SwitchTimeSensitivity},
-	{"writepolicy", WritePolicy},
-	{"power", Power},
-	{"lanegran", LaneGranularity},
-	{"tenancy", MultiTenancy},
-}
+// experimentFns enumerates every table/figure entry point via the
+// shared registry, so the determinism test cannot silently miss an
+// experiment added later.
+var experimentFns = Experiments()
 
 func tinyOptions() Options {
 	var subset []workload.Spec
@@ -58,21 +40,21 @@ func TestParallelDeterminism(t *testing.T) {
 	seq := NewRunner(seqOpts)
 	par := NewRunner(parOpts)
 	for _, e := range experimentFns {
-		want := e.run(seq)
-		got := e.run(par)
+		want := e.Run(seq)
+		got := e.Run(par)
 		if ws, gs := want.Table.String(), got.Table.String(); ws != gs {
-			t.Errorf("%s: parallel table differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", e.name, ws, gs)
+			t.Errorf("%s: parallel table differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", e.Name, ws, gs)
 		}
 		if wc, gc := want.Table.CSV(), got.Table.CSV(); wc != gc {
-			t.Errorf("%s: parallel CSV differs from sequential", e.name)
+			t.Errorf("%s: parallel CSV differs from sequential", e.Name)
 		}
 		if len(want.Summary) != len(got.Summary) {
-			t.Errorf("%s: summary key sets differ: %v vs %v", e.name, want.Summary, got.Summary)
+			t.Errorf("%s: summary key sets differ: %v vs %v", e.Name, want.Summary, got.Summary)
 			continue
 		}
 		for k, wv := range want.Summary {
 			if gv, ok := got.Summary[k]; !ok || gv != wv {
-				t.Errorf("%s: summary[%q] = %v parallel vs %v sequential", e.name, k, gv, wv)
+				t.Errorf("%s: summary[%q] = %v parallel vs %v sequential", e.Name, k, gv, wv)
 			}
 		}
 	}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+// Client is a minimal typed client for a numagpud server. The zero
+// value is not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: base, HTTPClient: http.DefaultClient}
+}
+
+// apiError is the decoded {"error": "..."} body of a non-2xx reply.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("numagpud: HTTP %d: %s", e.Status, e.Message)
+}
+
+// do issues one JSON round trip. in (when non-nil) is marshaled as the
+// request body; a 2xx response body is decoded into out (when non-nil).
+func (c *Client) do(method, path string, in, out any) error {
+	body, err := c.raw(method, path, in)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// raw issues the request and returns the verbatim 2xx response body.
+func (c *Client) raw(method, path string, in any) ([]byte, error) {
+	var rd io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := string(body)
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	return body, nil
+}
+
+// Experiments lists the experiments the server can run.
+func (c *Client) Experiments() ([]ExperimentInfo, error) {
+	var out []ExperimentInfo
+	err := c.do("GET", "/v1/experiments", nil, &out)
+	return out, err
+}
+
+// SubmitExperiment enqueues one experiment by registry name and
+// returns the queued job.
+func (c *Client) SubmitExperiment(name string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do("POST", "/v1/experiments/"+name, nil, &out)
+	return out, err
+}
+
+// SubmitSweep enqueues a configuration sweep and returns the queued
+// job.
+func (c *Client) SubmitSweep(req SweepRequest) (JobStatus, error) {
+	var out JobStatus
+	err := c.do("POST", "/v1/sweeps", req, &out)
+	return out, err
+}
+
+// Job fetches the current status of a job.
+func (c *Client) Job(id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do("GET", "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Wait polls a job until it reaches a terminal state (done or failed),
+// the poll interval elapsing between attempts. A failed job is
+// returned alongside an error carrying its message.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case JobDone:
+			return st, nil
+		case JobFailed:
+			return st, fmt.Errorf("numagpud: job %s failed: %s", id, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Result returns the raw, deterministic result JSON of a finished job.
+func (c *Client) Result(id string) ([]byte, error) {
+	return c.raw("GET", "/v1/jobs/"+id+"/result", nil)
+}
+
+// ExperimentResult is the decoded result payload of an experiment job:
+// the exact type the server marshals, so the two cannot drift.
+type ExperimentResult = exp.NamedResult
+
+// ExperimentResult decodes a finished experiment job's result.
+func (c *Client) ExperimentResult(id string) (ExperimentResult, error) {
+	var out ExperimentResult
+	b, err := c.Result(id)
+	if err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(b, &out)
+	return out, err
+}
+
+// SweepResult is the decoded result payload of a sweep job: one
+// core.Result per requested workload, in request order.
+type SweepResult struct {
+	Results []core.Result `json:"results"`
+}
+
+// SweepResult decodes a finished sweep job's result.
+func (c *Client) SweepResult(id string) (SweepResult, error) {
+	var out SweepResult
+	b, err := c.Result(id)
+	if err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(b, &out)
+	return out, err
+}
+
+// CacheStats fetches the server's cache and run-count statistics.
+func (c *Client) CacheStats() (CacheStatus, error) {
+	var out CacheStatus
+	err := c.do("GET", "/v1/cache", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	b, err := c.raw("GET", "/metrics", nil)
+	return string(b), err
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DiskCache is a content-addressed, disk-backed implementation of
+// exp.Cache: one JSON file per simulation result, named by the SHA-256
+// of the run key and sharded into 256 prefix directories. Entries
+// survive process restarts, which is what lets a restarted numagpud
+// serve a warm sweep without re-simulating.
+//
+// Writes are atomic (temp file + rename) and reads verify the stored
+// key, so a hash collision or a torn/corrupted file degrades to a
+// cache miss, never to a wrong result. All methods are safe for
+// concurrent use; the cache is best-effort and swallows I/O errors
+// (a failed Put simply means the next run simulates again).
+type DiskCache struct {
+	dir string
+
+	// Footprint counters, seeded by one walk at open and maintained on
+	// Put, so /metrics scrapes don't re-walk the tree. putMu also
+	// serializes writers, keeping the exists-check + rename + counter
+	// update atomic with respect to other Puts.
+	putMu sync.Mutex
+	stats DiskStats
+}
+
+// OpenDiskCache creates (if needed) and opens a cache rooted at dir,
+// walking it once to count existing entries.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &DiskCache{dir: dir}
+	c.stats = c.walk()
+	return c, nil
+}
+
+// Dir reports the cache root.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// diskEntry is the on-disk schema. Key is stored alongside the result
+// so Get can reject hash collisions and humans can grep the cache.
+type diskEntry struct {
+	Key    string      `json:"key"`
+	Result core.Result `json:"result"`
+}
+
+func (c *DiskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, name[:2], name+".json")
+}
+
+// Get implements exp.Cache.
+func (c *DiskCache) Get(key string) (core.Result, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return core.Result{}, false
+	}
+	var e diskEntry
+	if json.Unmarshal(b, &e) != nil || e.Key != key {
+		return core.Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put implements exp.Cache.
+func (c *DiskCache) Put(key string, res core.Result) {
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(diskEntry{Key: key, Result: res})
+	if err != nil {
+		return
+	}
+	c.putMu.Lock()
+	defer c.putMu.Unlock()
+	var oldSize int64 = -1 // -1: no existing entry
+	if info, err := os.Stat(path); err == nil {
+		oldSize = info.Size()
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if oldSize < 0 {
+		c.stats.Entries++
+		c.stats.Bytes += int64(len(b))
+	} else {
+		c.stats.Bytes += int64(len(b)) - oldSize
+	}
+}
+
+// DiskStats summarizes the cache's on-disk footprint.
+type DiskStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats reports the maintained entry and byte counts (no directory
+// walk; external deletions are not noticed until reopen).
+func (c *DiskCache) Stats() DiskStats {
+	c.putMu.Lock()
+	defer c.putMu.Unlock()
+	return c.stats
+}
+
+// walk counts entries and bytes on disk (open-time seeding).
+func (c *DiskCache) walk() DiskStats {
+	var st DiskStats
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			st.Entries++
+			st.Bytes += info.Size()
+		}
+		return nil
+	})
+	return st
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testResult() core.Result {
+	return core.Result{
+		Name:         "W",
+		Cycles:       123456,
+		KernelCycles: []uint64{100, 200},
+		Instructions: 42,
+		LinkBytes:    9000,
+		L1HitRate:    0.75,
+	}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := testResult()
+	c.Put("k1", want)
+	got, ok := c.Get("k1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Cycles != want.Cycles || got.Name != want.Name ||
+		len(got.KernelCycles) != 2 || got.KernelCycles[1] != 200 ||
+		got.L1HitRate != want.L1HitRate {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDiskCacheSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := OpenDiskCache(dir)
+	c1.Put("k", testResult())
+	c2, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("k"); !ok {
+		t.Fatal("entry lost across reopen")
+	}
+}
+
+func TestDiskCacheRejectsKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenDiskCache(dir)
+	c.Put("honest-key", testResult())
+	// Move the entry to where another key would look for it: Get must
+	// notice the embedded key disagrees and miss rather than lie.
+	sum := sha256.Sum256([]byte("honest-key"))
+	src := filepath.Join(dir, hex.EncodeToString(sum[:])[:2], hex.EncodeToString(sum[:])+".json")
+	sum2 := sha256.Sum256([]byte("other-key"))
+	dst := filepath.Join(dir, hex.EncodeToString(sum2[:])[:2], hex.EncodeToString(sum2[:])+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("other-key"); ok {
+		t.Fatal("cache served a result whose stored key disagrees")
+	}
+}
+
+func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenDiskCache(dir)
+	c.Put("k", testResult())
+	sum := sha256.Sum256([]byte("k"))
+	path := filepath.Join(dir, hex.EncodeToString(sum[:])[:2], hex.EncodeToString(sum[:])+".json")
+	if err := os.WriteFile(path, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+}
+
+func TestDiskCacheOverwriteIsAtomicReplacement(t *testing.T) {
+	c, _ := OpenDiskCache(t.TempDir())
+	a := testResult()
+	c.Put("k", a)
+	b := testResult()
+	b.Cycles = 999
+	c.Put("k", b)
+	got, ok := c.Get("k")
+	if !ok || got.Cycles != 999 {
+		t.Fatalf("overwrite failed: %+v ok=%v", got, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("overwrite duplicated the entry: %+v", st)
+	}
+}

@@ -1,0 +1,41 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/service"
+)
+
+// ExampleClient runs a numagpud server in-process and drives it the
+// way an HTTP caller would: submit an experiment, poll the job to
+// completion, decode the result. table1 is pure configuration, so the
+// example needs no simulation time.
+func ExampleClient() {
+	srv, err := service.New(service.Config{Options: exp.QuickOptions(), Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := service.NewClient(ts.URL)
+	job, err := c.SubmitExperiment("table1")
+	if err != nil {
+		panic(err)
+	}
+	st, err := c.Wait(context.Background(), job.ID, 10*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	res, err := c.ExperimentResult(st.ID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Experiment, "sockets:", res.Summary["sockets"])
+	// Output: table1 sockets: 4
+}

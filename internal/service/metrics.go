@@ -1,0 +1,72 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics renders the daemon's counters in Prometheus text
+// exposition format (version 0.0.4): simulation run counts, cache
+// hits/misses, job states, and queue depth — the numbers the
+// acceptance checks (singleflight, warm restart) observe.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rs := s.runner.Stats()
+
+	s.mu.Lock()
+	byState := map[JobState]int{}
+	for _, id := range s.order {
+		byState[s.jobs[id].state]++
+	}
+	queued := s.queued
+	running := len(s.active)
+	s.mu.Unlock()
+
+	var ds DiskStats
+	if s.disk != nil {
+		ds = s.disk.Stats()
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP numagpud_simulations_total Simulations actually executed by the shared runner.\n")
+	p("# TYPE numagpud_simulations_total counter\n")
+	p("numagpud_simulations_total %d\n", rs.Simulations)
+
+	p("# HELP numagpud_cache_hits_total Runs served from the persistent result cache.\n")
+	p("# TYPE numagpud_cache_hits_total counter\n")
+	p("numagpud_cache_hits_total %d\n", rs.CacheHits)
+
+	p("# HELP numagpud_cache_misses_total Cache lookups that fell through to a simulation.\n")
+	p("# TYPE numagpud_cache_misses_total counter\n")
+	p("numagpud_cache_misses_total %d\n", rs.CacheMisses)
+
+	p("# HELP numagpud_cache_entries Result files in the persistent cache.\n")
+	p("# TYPE numagpud_cache_entries gauge\n")
+	p("numagpud_cache_entries %d\n", ds.Entries)
+
+	p("# HELP numagpud_cache_bytes Bytes used by the persistent cache.\n")
+	p("# TYPE numagpud_cache_bytes gauge\n")
+	p("numagpud_cache_bytes %d\n", ds.Bytes)
+
+	// Per-state counts move between labels as jobs progress (and drop
+	// on retention eviction), so this is a gauge, not a counter.
+	p("# HELP numagpud_jobs Retained jobs by current state.\n")
+	p("# TYPE numagpud_jobs gauge\n")
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed} {
+		p("numagpud_jobs{state=%q} %d\n", st, byState[st])
+	}
+
+	p("# HELP numagpud_queue_depth Jobs waiting for a worker.\n")
+	p("# TYPE numagpud_queue_depth gauge\n")
+	p("numagpud_queue_depth %d\n", queued)
+
+	p("# HELP numagpud_jobs_running Jobs currently executing.\n")
+	p("# TYPE numagpud_jobs_running gauge\n")
+	p("numagpud_jobs_running %d\n", running)
+
+	p("# HELP numagpud_uptime_seconds Seconds since the daemon started.\n")
+	p("# TYPE numagpud_uptime_seconds gauge\n")
+	p("numagpud_uptime_seconds %.0f\n", time.Since(s.start).Seconds())
+}

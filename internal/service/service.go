@@ -1,0 +1,600 @@
+// Package service implements numagpud: a long-running HTTP/JSON daemon
+// that serves the paper's experiments and arbitrary (config, workload)
+// sweeps as API resources, on top of the concurrent exp.Runner harness.
+//
+// The layering, bottom to top:
+//
+//   - one shared exp.Runner holds the in-memory singleflight memo, so
+//     any number of concurrent jobs asking for the same (config,
+//     workload) pair share a single simulation;
+//   - an optional DiskCache (exp.Cache) sits under the memo, so warm
+//     results are served without re-simulating and survive restarts;
+//   - a bounded job queue drained by a fixed worker pool runs the
+//     requests asynchronously: POST returns a job ID immediately and
+//     GET /v1/jobs/{id} polls status and per-run progress.
+//
+// Endpoints:
+//
+//	GET  /v1/experiments          list runnable experiments
+//	POST /v1/experiments/{name}   enqueue one experiment
+//	POST /v1/sweeps               enqueue a (config, workloads) sweep
+//	GET  /v1/jobs                 list jobs in submission order
+//	GET  /v1/jobs/{id}            job status + progress lines
+//	GET  /v1/jobs/{id}/result     deterministic result JSON (done jobs)
+//	GET  /v1/cache                cache + run-count statistics
+//	GET  /metrics                 Prometheus text format
+//	GET  /healthz                 liveness probe
+//
+// Result payloads are deterministic: the same request against the same
+// simulator version yields byte-identical /result bodies, whether the
+// runs were simulated, memoized, or replayed from the disk cache.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Options configures the underlying exp.Runner (divisor, iteration
+	// scale, workload set, parallelism within one sweep). The Cache and
+	// Progress fields are owned by the Server and overwritten.
+	Options exp.Options
+	// CacheDir, when non-empty, enables the persistent result cache
+	// rooted at that directory.
+	CacheDir string
+	// Workers is the number of queue workers executing jobs
+	// concurrently (default 2). Total simulation concurrency is
+	// bounded by Workers × Options.Parallelism.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64); submissions beyond it are rejected with 503.
+	QueueDepth int
+	// Mirror, when non-nil, additionally receives every per-run
+	// progress line (numagpud -v wires this to stderr).
+	Mirror io.Writer
+	// JobRetention bounds how many finished (done or failed) jobs are
+	// kept for status/result queries; the oldest finished jobs are
+	// evicted beyond it (default 256). Queued and running jobs are
+	// never evicted.
+	JobRetention int
+}
+
+// JobState is the lifecycle of a job: queued → running → done|failed.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// job is the server-side record of one submitted request. All mutable
+// fields are guarded by Server.mu.
+type job struct {
+	id       string
+	kind     string // "experiment" or "sweep"
+	name     string
+	sweep    *SweepRequest
+	state    JobState
+	progress []string
+	result   []byte
+	err      string
+}
+
+// JobStatus is the wire form of a job returned by the status
+// endpoints.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	Name     string   `json:"name"`
+	State    JobState `json:"state"`
+	Progress []string `json:"progress,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// ExperimentInfo describes one runnable experiment.
+type ExperimentInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// CacheStatus is the /v1/cache payload: disk footprint plus the
+// runner's run accounting.
+type CacheStatus struct {
+	Enabled     bool   `json:"enabled"`
+	Dir         string `json:"dir,omitempty"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Simulations uint64 `json:"simulations"`
+}
+
+// Server is the numagpud daemon: an http.Handler plus the worker pool
+// behind it. Create with New, release with Close.
+type Server struct {
+	cfg    Config
+	runner *exp.Runner
+	disk   *DiskCache
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job IDs in submission order
+	active map[*job]bool
+	nextID int
+	queued int
+
+	queue     chan *job
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a Server, opening the disk cache (if configured) and
+// starting the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.JobRetention < 1 {
+		cfg.JobRetention = 256
+	}
+	s := &Server{
+		cfg:    cfg,
+		start:  time.Now(),
+		jobs:   make(map[string]*job),
+		active: make(map[*job]bool),
+		queue:  make(chan *job, cfg.QueueDepth),
+	}
+	opts := cfg.Options
+	opts.Cache = nil // owned by the Server: only the configured DiskCache is wired in
+	if cfg.CacheDir != "" {
+		disk, err := OpenDiskCache(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: open cache: %w", err)
+		}
+		s.disk = disk
+		opts.Cache = disk
+	}
+	opts.Progress = (*progressRouter)(s)
+	s.runner = exp.NewRunner(opts)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	mux.HandleFunc("POST /v1/experiments/{name}", s.handleSubmitExperiment)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops accepting new submissions and waits for every already-
+// queued and running job to finish (the workers drain the queue).
+// Submissions after Close fail with 503.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.queue) })
+	s.wg.Wait()
+}
+
+// RunnerStats exposes the shared runner's run accounting (used by the
+// restart tests and the metrics endpoint).
+func (s *Server) RunnerStats() exp.Stats { return s.runner.Stats() }
+
+// progressRouter adapts the Server to the io.Writer shape of
+// exp.Options.Progress: every per-run progress line is appended to all
+// currently-running jobs (the shared Runner cannot attribute a
+// simulation to a single job when concurrent jobs overlap on the same
+// memo key) and mirrored to Config.Mirror.
+type progressRouter Server
+
+func (p *progressRouter) Write(b []byte) (int, error) {
+	s := (*Server)(p)
+	line := strings.TrimRight(string(b), "\n")
+	s.mu.Lock()
+	for j := range s.active {
+		j.progress = append(j.progress, line)
+	}
+	s.mu.Unlock()
+	if s.cfg.Mirror != nil {
+		s.cfg.Mirror.Write(b)
+	}
+	return len(b), nil
+}
+
+// errQueueFull is returned by submit when the queue is at capacity or
+// the server is closed.
+var errQueueFull = errors.New("service: job queue full")
+
+func (s *Server) submit(j *job) error {
+	// Registration and the non-blocking enqueue happen under one
+	// critical section, so a failed enqueue never has to unwind state
+	// a concurrent submit may have built on. Workers also take s.mu
+	// before touching a dequeued job, so they cannot observe it before
+	// registration completes.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	j.state = JobQueued
+	if err := s.enqueue(j); err != nil {
+		return err
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queued++
+	return nil
+}
+
+// enqueue pushes without blocking, converting both a full queue and a
+// closed queue (send on closed channel panics) into errQueueFull.
+func (s *Server) enqueue(j *job) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = errQueueFull
+		}
+	}()
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		j.state = JobRunning
+		s.queued--
+		s.active[j] = true
+		s.mu.Unlock()
+
+		payload, err := s.execute(j)
+
+		s.mu.Lock()
+		delete(s.active, j)
+		if err != nil {
+			j.state = JobFailed
+			j.err = err.Error()
+		} else {
+			j.state = JobDone
+			j.result = payload
+		}
+		s.evictLocked()
+		s.mu.Unlock()
+	}
+}
+
+// evictLocked drops the oldest finished jobs beyond Config.JobRetention
+// so a long-running daemon's job table (and the result payloads it
+// pins) stays bounded. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	finished := 0
+	for _, id := range s.order {
+		if st := s.jobs[id].state; st == JobDone || st == JobFailed {
+			finished++
+		}
+	}
+	if finished <= s.cfg.JobRetention {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		st := s.jobs[id].state
+		if (st == JobDone || st == JobFailed) && finished > s.cfg.JobRetention {
+			delete(s.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// execute runs one job to completion, converting simulation panics
+// (e.g. an invalid configuration reaching core.MustSystem) into job
+// failures instead of killing the worker.
+func (s *Server) execute(j *job) (payload []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation panic: %v", p)
+		}
+	}()
+	switch j.kind {
+	case "experiment":
+		e, ok := exp.ExperimentByName(j.name)
+		if !ok { // submit validated; registry changed underneath?
+			return nil, fmt.Errorf("unknown experiment %q", j.name)
+		}
+		res := e.Run(s.runner)
+		return json.Marshal(e.Named(res))
+	case "sweep":
+		cfg, specs, err := s.sweepPlan(j.sweep)
+		if err != nil {
+			return nil, err
+		}
+		reqs := make([]exp.RunRequest, len(specs))
+		for i, spec := range specs {
+			reqs[i] = exp.RunRequest{Cfg: cfg, Spec: spec}
+		}
+		results := s.runner.RunAll(reqs)
+		return json.Marshal(struct {
+			Results []core.Result `json:"results"`
+		}{results})
+	}
+	return nil, fmt.Errorf("unknown job kind %q", j.kind)
+}
+
+// SweepRequest is the POST /v1/sweeps body: a named configuration
+// preset plus overrides, applied to a list of workloads. The response
+// job's result is {"results":[core.Result...]} in workload order.
+type SweepRequest struct {
+	// Preset selects the starting configuration: "base" (locality-
+	// optimized software runtime, the default), "traditional"
+	// (fine-grain single-GPU policies), "numa-aware" (the paper's full
+	// proposal), or "monolithic" (the hypothetical Sockets× larger
+	// single GPU).
+	Preset string `json:"preset,omitempty"`
+	// Sockets is the socket count (default 4); for "monolithic" it is
+	// the size factor of the single GPU.
+	Sockets int `json:"sockets,omitempty"`
+	// Workloads lists Table 2 workload names; empty means the server's
+	// full configured workload set.
+	Workloads []string `json:"workloads,omitempty"`
+
+	// Optional overrides applied on top of the preset.
+	CacheMode      string `json:"cache_mode,omitempty"` // mem-side-local | static-partition | shared-coherent | numa-aware
+	LinkMode       string `json:"link_mode,omitempty"`  // static | dynamic
+	LinkSampleTime int    `json:"link_sample_time,omitempty"`
+	LaneSwitchTime int    `json:"lane_switch_time,omitempty"`
+	L2WriteThrough bool   `json:"l2_write_through,omitempty"`
+}
+
+var cacheModes = map[string]arch.CacheMode{
+	"mem-side-local":   arch.CacheMemSideLocal,
+	"static-partition": arch.CacheStaticPartition,
+	"shared-coherent":  arch.CacheSharedCoherent,
+	"numa-aware":       arch.CacheNUMAAware,
+}
+
+var linkModes = map[string]arch.LinkMode{
+	"static":  arch.LinkStatic,
+	"dynamic": arch.LinkDynamic,
+}
+
+// sweepPlan resolves a SweepRequest into a validated configuration and
+// workload list. Errors are client errors (HTTP 400).
+func (s *Server) sweepPlan(req *SweepRequest) (arch.Config, []workload.Spec, error) {
+	sockets := req.Sockets
+	if sockets == 0 {
+		sockets = 4
+	}
+	var cfg arch.Config
+	switch req.Preset {
+	case "", "base":
+		cfg = s.runner.Base(sockets)
+	case "traditional":
+		cfg = s.runner.Traditional(sockets)
+	case "numa-aware":
+		cfg = s.runner.NUMAAware(sockets)
+	case "monolithic":
+		cfg = s.runner.Monolithic(sockets)
+	default:
+		return arch.Config{}, nil, fmt.Errorf("unknown preset %q (want base, traditional, numa-aware or monolithic)", req.Preset)
+	}
+	if req.CacheMode != "" {
+		m, ok := cacheModes[req.CacheMode]
+		if !ok {
+			return arch.Config{}, nil, fmt.Errorf("unknown cache_mode %q", req.CacheMode)
+		}
+		cfg.CacheMode = m
+	}
+	if req.LinkMode != "" {
+		m, ok := linkModes[req.LinkMode]
+		if !ok {
+			return arch.Config{}, nil, fmt.Errorf("unknown link_mode %q", req.LinkMode)
+		}
+		cfg.LinkMode = m
+	}
+	if req.LinkSampleTime > 0 {
+		cfg.LinkSampleTime = req.LinkSampleTime
+	}
+	if req.LaneSwitchTime > 0 {
+		cfg.LaneSwitchTime = req.LaneSwitchTime
+	}
+	if req.L2WriteThrough {
+		cfg.L2WriteThrough = true
+	}
+	if err := cfg.Validate(); err != nil {
+		return arch.Config{}, nil, err
+	}
+
+	var specs []workload.Spec
+	if len(req.Workloads) == 0 {
+		specs = s.runner.Options().Workloads
+	} else {
+		for _, name := range req.Workloads {
+			spec, ok := workload.ByName(name)
+			if !ok {
+				return arch.Config{}, nil, fmt.Errorf("unknown workload %q", name)
+			}
+			specs = append(specs, spec)
+		}
+	}
+	return cfg, specs, nil
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	var infos []ExperimentInfo
+	for _, e := range exp.Experiments() {
+		infos = append(infos, ExperimentInfo{Name: e.Name, Desc: e.Desc})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := exp.ExperimentByName(name); !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", name)
+		return
+	}
+	j := &job{kind: "experiment", name: name}
+	if err := s.submit(j); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.status(j))
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	// Validate now so the client gets a 400 instead of a failed job.
+	if _, _, err := s.sweepPlan(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := req.Preset
+	if name == "" {
+		name = "base"
+	}
+	j := &job{kind: "sweep", name: name, sweep: &req}
+	if err := s.submit(j); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.status(j))
+}
+
+// status snapshots a job's wire form; callers must not hold s.mu.
+func (s *Server) status(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{ID: j.id, Kind: j.kind, Name: j.name, State: j.state, Error: j.err}
+	st.Progress = append(st.Progress, j.progress...)
+	return st
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, s.status(j))
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	state, result, errMsg := j.state, j.result, j.err
+	s.mu.Unlock()
+	switch state {
+	case JobDone:
+		// The stored bytes are served verbatim: byte-identical replies
+		// for identical requests, across restarts.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s", j.id, state)
+	}
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	rs := s.runner.Stats()
+	st := CacheStatus{
+		Enabled:     s.disk != nil,
+		Hits:        rs.CacheHits,
+		Misses:      rs.CacheMisses,
+		Simulations: rs.Simulations,
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.Dir, st.Entries, st.Bytes = s.disk.Dir(), ds.Entries, ds.Bytes
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,399 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// tinyOpts is the smallest useful harness: two workloads at 1/16
+// architecture scale so every simulation finishes in well under a
+// second.
+func tinyOpts() exp.Options {
+	var subset []workload.Spec
+	for _, name := range []string{"Other-Stream-Triad", "Rodinia-Hotspot"} {
+		s, ok := workload.ByName(name)
+		if !ok {
+			panic("missing workload " + name)
+		}
+		subset = append(subset, s)
+	}
+	return exp.Options{Divisor: 16, IterScale: 0.1, MaxCTAs: 64, Workloads: subset, Parallelism: 2}
+}
+
+func newTestServer(t *testing.T, cacheDir string) (*service.Server, *service.Client, func()) {
+	t.Helper()
+	srv, err := service.New(service.Config{Options: tinyOpts(), CacheDir: cacheDir, Workers: 2})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	stop := func() {
+		ts.Close()
+		srv.Close()
+	}
+	return srv, service.NewClient(ts.URL), stop
+}
+
+func waitDone(t *testing.T, c *service.Client, id string) service.JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := c.Wait(ctx, id, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("job %s: %v", id, err)
+	}
+	return st
+}
+
+func TestListExperiments(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+	infos, err := c.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(exp.Experiments()) {
+		t.Fatalf("%d experiments listed, want %d", len(infos), len(exp.Experiments()))
+	}
+	names := map[string]bool{}
+	for _, e := range infos {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"table1", "fig11", "lanegran", "tenancy"} {
+		if !names[want] {
+			t.Fatalf("experiment %q missing from listing", want)
+		}
+	}
+}
+
+func TestSubmitUnknownExperiment(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+	_, err := c.SubmitExperiment("figNaN")
+	if err == nil || !strings.Contains(err.Error(), "404") || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want 404 unknown experiment, got %v", err)
+	}
+}
+
+func TestExperimentJobLifecycle(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+	job, err := c.SubmitExperiment("fig2") // pure metadata: no simulation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || (job.State != service.JobQueued && job.State != service.JobRunning) {
+		t.Fatalf("unexpected submit reply: %+v", job)
+	}
+	st := waitDone(t, c, job.ID)
+	res, err := c.ExperimentResult(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "fig2" || res.Table == nil || res.Table.Rows() != 4 {
+		t.Fatalf("bad experiment result: %+v", res)
+	}
+	if res.Summary["fill_1x_pct"] != 100 {
+		t.Fatalf("summary lost: %v", res.Summary)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+	for _, req := range []service.SweepRequest{
+		{Preset: "hyperscale"},
+		{Workloads: []string{"No-Such-Workload"}},
+		{CacheMode: "psychic"},
+		{LinkMode: "wormhole"},
+	} {
+		if _, err := c.SubmitSweep(req); err == nil || !strings.Contains(err.Error(), "400") {
+			t.Fatalf("sweep %+v: want 400, got %v", req, err)
+		}
+	}
+	// Unknown JSON fields are rejected too, so typos fail loudly.
+	resp, err := http.Post(c.BaseURL+"/v1/sweeps", "application/json",
+		bytes.NewReader([]byte(`{"workloadz":["x"]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+	if _, err := c.Job("job-999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("want 404, got %v", err)
+	}
+	if _, err := c.Result("job-999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("want 404, got %v", err)
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	srv, c, stop := newTestServer(t, "")
+	defer stop()
+	srv.Close()
+	if _, err := c.SubmitExperiment("fig2"); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("want 503 after Close, got %v", err)
+	}
+}
+
+// TestConcurrentIdenticalSweepsShareSimulations is acceptance criterion
+// one: two identical sweep jobs running concurrently must share the
+// underlying simulations through the runner's singleflight memo,
+// observable via the run-count metric.
+func TestConcurrentIdenticalSweepsShareSimulations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	srv, c, stop := newTestServer(t, t.TempDir())
+	defer stop()
+	req := service.SweepRequest{Preset: "base", Sockets: 2, Workloads: []string{"Other-Stream-Triad"}}
+	j1, err := c.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c, j1.ID)
+	waitDone(t, c, j2.ID)
+
+	b1, err := c.Result(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.Result(j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("identical sweeps returned different bytes:\n%s\nvs\n%s", b1, b2)
+	}
+	if st := srv.RunnerStats(); st.Simulations != 1 {
+		t.Fatalf("simulations = %d, want 1 (singleflight across jobs)", st.Simulations)
+	}
+	metrics, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "numagpud_simulations_total 1\n") {
+		t.Fatalf("run-count metric does not show the shared simulation:\n%s", metrics)
+	}
+	var sweep service.SweepResult
+	if err := json.Unmarshal(b1, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 1 || sweep.Results[0].Name != "Other-Stream-Triad" || sweep.Results[0].Cycles == 0 {
+		t.Fatalf("bad sweep payload: %+v", sweep)
+	}
+}
+
+// TestRestartServesFromDiskCache is acceptance criterion two: after a
+// daemon restart, a repeated request must be served from the disk
+// cache byte-identical to the original response, without simulating.
+func TestRestartServesFromDiskCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	req := service.SweepRequest{Preset: "numa-aware", Sockets: 2, Workloads: []string{"Other-Stream-Triad"}}
+
+	srv1, c1, stop1 := newTestServer(t, dir)
+	j1, err := c1.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitDone(t, c1, j1.ID)
+	cold, err := c1.Result(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := srv1.RunnerStats(); st.Simulations != 1 || st.CacheHits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	// The cold run simulated, so its job saw progress lines.
+	if len(st1.Progress) == 0 || !strings.Contains(st1.Progress[0], "ran") {
+		t.Fatalf("cold job progress missing: %+v", st1.Progress)
+	}
+	stop1() // daemon restart
+
+	srv2, c2, stop2 := newTestServer(t, dir)
+	defer stop2()
+	j2, err := c2.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c2, j2.ID)
+	warm, err := c2.Result(j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("restart response differs from original:\n%s\nvs\n%s", cold, warm)
+	}
+	if st := srv2.RunnerStats(); st.Simulations != 0 || st.CacheHits != 1 {
+		t.Fatalf("warm stats = %+v, want pure cache hit", st)
+	}
+
+	cs, err := c2.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Enabled || cs.Entries != 1 || cs.Hits != 1 || cs.Simulations != 0 {
+		t.Fatalf("cache status = %+v", cs)
+	}
+	metrics, err := c2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"numagpud_simulations_total 0\n",
+		"numagpud_cache_hits_total 1\n",
+		"numagpud_cache_entries 1\n",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestExperimentResultDeterministicAcrossRestart runs a full
+// experiment (table + summary JSON) cold and warm and requires
+// byte-identical /result bodies.
+func TestExperimentResultDeterministicAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	srv1, c1, stop1 := newTestServer(t, dir)
+	j1, err := c1.SubmitExperiment("writepolicy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c1, j1.ID)
+	cold, err := c1.Result(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := srv1.RunnerStats().Simulations
+	if sims == 0 {
+		t.Fatal("cold experiment ran no simulations")
+	}
+	stop1()
+
+	srv2, c2, stop2 := newTestServer(t, dir)
+	defer stop2()
+	j2, err := c2.SubmitExperiment("writepolicy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c2, j2.ID)
+	warm, err := c2.Result(j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("experiment JSON differs across restart")
+	}
+	if st := srv2.RunnerStats(); st.Simulations != 0 || st.CacheHits != sims {
+		t.Fatalf("warm stats = %+v, want %d pure cache hits", st, sims)
+	}
+}
+
+func TestJobsListedInSubmissionOrder(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+	a, _ := c.SubmitExperiment("fig2")
+	b, _ := c.SubmitExperiment("table2")
+	waitDone(t, c, a.ID)
+	waitDone(t, c, b.ID)
+	var jobs []service.JobStatus
+	resp, err := http.Get(c.BaseURL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != a.ID || jobs[1].ID != b.ID {
+		t.Fatalf("jobs out of order: %+v", jobs)
+	}
+}
+
+// TestJobRetentionEvictsOldestFinished bounds the daemon's memory: a
+// long-running server must not pin every finished job's result
+// forever.
+func TestJobRetentionEvictsOldestFinished(t *testing.T) {
+	srv, err := service.New(service.Config{Options: tinyOpts(), Workers: 1, JobRetention: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := service.NewClient(ts.URL)
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := c.SubmitExperiment("fig2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+		waitDone(t, c, j.ID)
+	}
+	// The two oldest finished jobs are gone; the two newest remain.
+	for _, id := range ids[:2] {
+		if _, err := c.Job(id); err == nil || !strings.Contains(err.Error(), "404") {
+			t.Fatalf("job %s should be evicted, got %v", id, err)
+		}
+	}
+	for _, id := range ids[2:] {
+		if st, err := c.Job(id); err != nil || st.State != service.JobDone {
+			t.Fatalf("job %s should be retained: %+v, %v", id, st, err)
+		}
+	}
+	var jobs []service.JobStatus
+	resp, err := http.Get(c.BaseURL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != ids[2] || jobs[1].ID != ids[3] {
+		t.Fatalf("listing after eviction = %+v", jobs)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+	resp, err := http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
