@@ -119,22 +119,18 @@ func (s *System) Fabric() *xlink.Fabric { return s.fabric }
 // RemoteRead implements gpu.Remote: request to home, home-side service,
 // data response back.
 func (s *System) RemoteRead(src, home arch.SocketID, l arch.LineID, done func()) {
-	s.fabric.Route(src, home, s.cfg.RequestHeader, func(sim.Time) {
+	s.fabric.RouteFunc(src, home, s.cfg.RequestHeader, func() {
 		s.sockets[home].HomeRead(l, func() {
-			s.fabric.Route(home, src, arch.LineSize+s.cfg.ResponseHeader, func(sim.Time) { done() })
+			s.fabric.RouteFunc(home, src, arch.LineSize+s.cfg.ResponseHeader, done)
 		})
 	})
 }
 
 // RemoteWrite implements gpu.Remote: full line to home, small ack back.
 func (s *System) RemoteWrite(src, home arch.SocketID, l arch.LineID, done func()) {
-	s.fabric.Route(src, home, arch.LineSize+s.cfg.RequestHeader, func(sim.Time) {
+	s.fabric.RouteFunc(src, home, arch.LineSize+s.cfg.RequestHeader, func() {
 		s.sockets[home].HomeWrite(l, func() {
-			s.fabric.Route(home, src, s.cfg.RequestHeader, func(sim.Time) {
-				if done != nil {
-					done()
-				}
-			})
+			s.fabric.RouteFunc(home, src, s.cfg.RequestHeader, done)
 		})
 	})
 }
@@ -142,13 +138,9 @@ func (s *System) RemoteWrite(src, home arch.SocketID, l arch.LineID, done func()
 // RemoteWriteBulk implements gpu.Remote for aggregated flush bursts.
 func (s *System) RemoteWriteBulk(src, home arch.SocketID, n int, done func()) {
 	size := n*arch.LineSize + s.cfg.RequestHeader
-	s.fabric.Route(src, home, size, func(sim.Time) {
+	s.fabric.RouteFunc(src, home, size, func() {
 		s.sockets[home].HomeWriteBulk(n, func() {
-			s.fabric.Route(home, src, s.cfg.RequestHeader, func(sim.Time) {
-				if done != nil {
-					done()
-				}
-			})
+			s.fabric.RouteFunc(home, src, s.cfg.RequestHeader, done)
 		})
 	})
 }
@@ -209,7 +201,7 @@ func (s *System) stopPolicies() {
 		p.Stop()
 	}
 	if s.profiler != nil {
-		s.profiler.stopped = true
+		s.profiler.stop()
 	}
 }
 
@@ -306,10 +298,10 @@ type LinkProfile struct {
 }
 
 type linkProfiler struct {
-	sys     *System
-	window  sim.Time
-	stopped bool
-	prof    []LinkProfile
+	sys    *System
+	window sim.Time
+	ticker *sim.Ticker
+	prof   []LinkProfile
 }
 
 // EnableLinkProfile records per-window link utilization for every
@@ -332,20 +324,21 @@ func (p *linkProfiler) start(eng *sim.Engine) {
 	for i := range p.prof {
 		p.sys.fabric.Link(arch.SocketID(i)).ResetProfileWindow(eng.Now())
 	}
-	var tick sim.Event
-	tick = func(now sim.Time) {
-		if p.stopped {
-			return
-		}
+	p.ticker = sim.NewTicker(eng, p.window, func(now sim.Time) {
 		for i := range p.prof {
 			l := p.sys.fabric.Link(arch.SocketID(i))
 			p.prof[i].Egress.Record(now, l.ProfileUtilization(xlink.Egress, now))
 			p.prof[i].Ingress.Record(now, l.ProfileUtilization(xlink.Ingress, now))
 			l.ResetProfileWindow(now)
 		}
-		eng.Schedule(p.window, tick)
+	})
+	p.ticker.Start()
+}
+
+func (p *linkProfiler) stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
 	}
-	eng.Schedule(p.window, tick)
 }
 
 // LinkProfiles returns the recorded profiles (after Run) along with the

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// update regenerates the golden-master fixtures instead of diffing
+// against them:
+//
+//	go test ./internal/exp -run TestGoldenMasters -update
+//
+// Regenerate only when an intentional model change alters experiment
+// output; the whole point of the fixtures is to catch unintentional
+// changes (scheduler rewrites, refactors) byte-for-byte.
+var update = flag.Bool("update", false, "rewrite golden-master fixtures under testdata/golden")
+
+// goldenPath returns the fixture file for one experiment.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".golden")
+}
+
+// renderGolden serializes one experiment result in the canonical golden
+// format: the rendered text table, the sorted summary key=value lines,
+// and the CSV rendering — everything cmd/numagpu -quick prints or
+// writes, in one deterministic byte stream.
+func renderGolden(res Result) []byte {
+	var b bytes.Buffer
+	b.WriteString(res.Table.String())
+	b.WriteString("\nsummary:\n")
+	keys := make([]string, 0, len(res.Summary))
+	for k := range res.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%.9g\n", k, res.Summary[k])
+	}
+	b.WriteString("-- csv --\n")
+	b.WriteString(res.Table.CSV())
+	return b.Bytes()
+}
+
+// TestGoldenMasters regenerates every registered experiment at the
+// -quick harness size (exp.QuickOptions: divisor 8, iterscale 0.25,
+// the full 41-workload suite) and diffs the output byte-for-byte
+// against the committed fixtures in testdata/golden. This is the
+// regression net under the simulation core: any change to event
+// ordering, timing, or policy behaviour anywhere below the harness
+// shows up here as a byte diff.
+//
+// The suite shares one Runner, so the ~500 underlying simulations are
+// memoized across experiments exactly as `numagpu -quick all` shares
+// them. Skipped under -short (it is minutes of simulation); CI and the
+// default `go test ./...` run it.
+func TestGoldenMasters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden masters simulate the full -quick suite; skipped in -short mode")
+	}
+	runner := NewRunner(QuickOptions())
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			got := renderGolden(e.Run(runner))
+			path := goldenPath(e.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s output diverged from golden master (%d bytes got, %d want).\n"+
+					"If this change is intentional, regenerate with:\n"+
+					"  go test ./internal/exp -run TestGoldenMasters -update\n"+
+					"--- got ---\n%s\n--- want ---\n%s",
+					e.Name, len(got), len(want), firstDiffWindow(got, want), firstDiffWindow(want, got))
+			}
+		})
+	}
+}
+
+// firstDiffWindow returns a readable excerpt of a around the first byte
+// where a and b differ, so golden failures point at the divergence
+// instead of dumping kilobytes of table.
+func firstDiffWindow(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}

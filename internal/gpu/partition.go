@@ -23,7 +23,7 @@ import (
 type PartitionController struct {
 	socket *Socket
 	sample sim.Time
-	stop   bool
+	ticker *sim.Ticker
 
 	// Decisions counts sampling rounds; Shifts counts rounds that moved
 	// a way in either direction.
@@ -42,24 +42,20 @@ func NewPartitionController(s *Socket, sampleTime int) *PartitionController {
 
 // Start begins periodic sampling; the controller runs until Stop.
 func (p *PartitionController) Start(eng *sim.Engine) {
-	p.stop = false
 	now := eng.Now()
 	p.socket.dram.ResetWindow(now)
 	p.socket.remoteReqs.Reset(now)
 	p.socket.remoteResp.Reset(now)
-	var tick sim.Event
-	tick = func(now sim.Time) {
-		if p.stop {
-			return
-		}
-		p.Step(now)
-		eng.Schedule(p.sample, tick)
-	}
-	eng.Schedule(p.sample, tick)
+	p.ticker = sim.NewTicker(eng, p.sample, p.Step)
+	p.ticker.Start()
 }
 
 // Stop halts sampling after the current tick.
-func (p *PartitionController) Stop() { p.stop = true }
+func (p *PartitionController) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+	}
+}
 
 // DebugTrace, when set, receives every sampling decision's inputs.
 var DebugTrace func(sock int, now sim.Time, inUtil, dramUtil float64)

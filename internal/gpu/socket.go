@@ -67,6 +67,11 @@ type Socket struct {
 	remoteReqs stats.Meter
 	remoteResp stats.Meter
 
+	// Long-lived completion callbacks, bound once at construction so
+	// store drains and writebacks schedule without a per-event closure.
+	drainDecFn func()
+	allDoneFn  func()
+
 	// Statistics.
 	LoadsLocal   stats.Counter
 	LoadsRemote  stats.Counter
@@ -94,6 +99,8 @@ func NewSocket(eng *sim.Engine, cfg arch.Config, id arch.SocketID, memMap *vmm.M
 		rmPending: make(map[arch.LineID][]l2Waiter),
 		onAllDone: onAllDone,
 	}
+	s.drainDecFn = s.drain.Dec
+	s.allDoneFn = func() { s.onAllDone(s.id) }
 	for i := 0; i < cfg.SMsPerSocket; i++ {
 		s.l1s = append(s.l1s, mem.NewCache(cfg.L1Bytes, cfg.L1Assoc))
 		s.l1Pending = append(s.l1Pending, make(map[arch.LineID][]func()))
@@ -173,7 +180,7 @@ func (s *Socket) l2IsCoherent() bool {
 // line has been serviced.
 func (s *Socket) Load(sm int, lines []arch.LineID, done func()) {
 	if len(lines) == 0 {
-		s.eng.Schedule(1, func(sim.Time) { done() })
+		s.eng.ScheduleThunk(1, done)
 		return
 	}
 	left := len(lines)
@@ -197,7 +204,7 @@ func (s *Socket) loadLine(sm int, l arch.LineID, done func()) {
 	}
 	l1 := s.l1s[sm]
 	if l1.Lookup(l, cl) {
-		s.eng.Schedule(sim.Time(s.cfg.L1Latency), func(sim.Time) { done() })
+		s.eng.ScheduleThunk(sim.Time(s.cfg.L1Latency), done)
 		return
 	}
 	// L1 miss: merge with an outstanding miss to the same line.
@@ -237,7 +244,7 @@ func (s *Socket) fillL1(sm int, l arch.LineID, cl mem.Class) {
 func (s *Socket) localL2Read(sm int, l arch.LineID, done func()) {
 	respond := func() {
 		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
-			s.xbar.Send(arch.LineSize, func(sim.Time) { done() })
+			s.xbar.SendFunc(arch.LineSize, done)
 		})
 	}
 	if s.l2.Lookup(l, mem.ClassLocal) {
@@ -254,8 +261,7 @@ func (s *Socket) localL2Read(sm int, l arch.LineID, done func()) {
 		respond()
 		for _, w := range s.l2Pending[l] {
 			s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
-				ww := w
-				s.xbar.Send(arch.LineSize, func(sim.Time) { ww.done() })
+				s.xbar.SendFunc(arch.LineSize, w.done)
 			})
 		}
 		delete(s.l2Pending, l)
@@ -269,7 +275,7 @@ func (s *Socket) remoteRead(sm int, l arch.LineID, home arch.SocketID, done func
 	if s.cachesRemoteInL2() {
 		respond := func() {
 			s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
-				s.xbar.Send(arch.LineSize, func(sim.Time) { done() })
+				s.xbar.SendFunc(arch.LineSize, done)
 			})
 		}
 		if s.l2.Lookup(l, mem.ClassRemote) {
@@ -287,8 +293,7 @@ func (s *Socket) remoteRead(sm int, l arch.LineID, home arch.SocketID, done func
 			s.insertL2(l, mem.ClassRemote, false)
 			respond()
 			for _, w := range s.rmPending[l] {
-				ww := w
-				s.xbar.Send(arch.LineSize, func(sim.Time) { ww.done() })
+				s.xbar.SendFunc(arch.LineSize, w.done)
 			}
 			delete(s.rmPending, l)
 		})
@@ -299,7 +304,7 @@ func (s *Socket) remoteRead(sm int, l arch.LineID, home arch.SocketID, done func
 	s.countRemoteRead()
 	s.remote.RemoteRead(s.id, home, l, func() {
 		s.countRemoteResponse()
-		s.xbar.Send(arch.LineSize, func(sim.Time) { done() })
+		s.xbar.SendFunc(arch.LineSize, done)
 	})
 }
 
@@ -325,7 +330,7 @@ func (s *Socket) insertL2(l arch.LineID, cl mem.Class, dirty bool) {
 func (s *Socket) writebackVictim(v mem.Victim) {
 	if v.Class == mem.ClassLocal {
 		s.drain.Inc()
-		s.dram.Write(arch.LineSize, func(sim.Time) { s.drain.Dec() })
+		s.dram.WriteFunc(arch.LineSize, s.drainDecFn)
 		return
 	}
 	home, ok := s.memMap.Peek(v.Line)
@@ -333,11 +338,11 @@ func (s *Socket) writebackVictim(v mem.Victim) {
 		// The page moved under us or the line is local after all;
 		// treat as a local writeback.
 		s.drain.Inc()
-		s.dram.Write(arch.LineSize, func(sim.Time) { s.drain.Dec() })
+		s.dram.WriteFunc(arch.LineSize, s.drainDecFn)
 		return
 	}
 	s.drain.Inc()
-	s.remote.RemoteWrite(s.id, home, v.Line, func() { s.drain.Dec() })
+	s.remote.RemoteWrite(s.id, home, v.Line, s.drainDecFn)
 }
 
 // Store retires a coalesced warp store from SM sm. Stores never block
@@ -375,7 +380,7 @@ func (s *Socket) storeLine(sm int, l arch.LineID) {
 				// §5.2 sensitivity: line stays clean locally, data
 				// crosses the link immediately.
 				s.insertL2(l, mem.ClassRemote, false)
-				s.remote.RemoteWrite(s.id, home, l, func() { s.drain.Dec() })
+				s.remote.RemoteWrite(s.id, home, l, s.drainDecFn)
 				return
 			}
 			s.insertL2(l, mem.ClassRemote, true)
@@ -383,7 +388,7 @@ func (s *Socket) storeLine(sm int, l arch.LineID) {
 			return
 		}
 		// Mode (a): remote writes cross the link immediately.
-		s.remote.RemoteWrite(s.id, home, l, func() { s.drain.Dec() })
+		s.remote.RemoteWrite(s.id, home, l, s.drainDecFn)
 	})
 }
 
@@ -397,7 +402,7 @@ func (s *Socket) storeLine(sm int, l arch.LineID) {
 // organizations serve hits but do not allocate for remote requesters.
 func (s *Socket) HomeRead(l arch.LineID, done func()) {
 	if s.l2.Lookup(l, mem.ClassLocal) {
-		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) { done() })
+		s.eng.ScheduleThunk(sim.Time(s.cfg.L2Latency), done)
 		return
 	}
 	memSide := s.cfg.CacheMode == arch.CacheMemSideLocal || s.cfg.CacheMode == arch.CacheStaticPartition
@@ -415,19 +420,19 @@ func (s *Socket) HomeWrite(l arch.LineID, done func()) {
 	memSide := s.cfg.CacheMode == arch.CacheMemSideLocal || s.cfg.CacheMode == arch.CacheStaticPartition
 	if memSide {
 		s.insertL2(l, mem.ClassLocal, true)
-		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) { done() })
+		s.eng.ScheduleThunk(sim.Time(s.cfg.L2Latency), done)
 		return
 	}
 	if s.l2.MarkDirty(l) {
-		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) { done() })
+		s.eng.ScheduleThunk(sim.Time(s.cfg.L2Latency), done)
 		return
 	}
-	s.dram.Write(arch.LineSize, func(sim.Time) { done() })
+	s.dram.WriteFunc(arch.LineSize, done)
 }
 
 // HomeWriteBulk drains an aggregate flush burst of n lines into DRAM.
 func (s *Socket) HomeWriteBulk(n int, done func()) {
-	s.dram.Write(n*arch.LineSize, func(sim.Time) { done() })
+	s.dram.WriteFunc(n*arch.LineSize, done)
 }
 
 // ---------------------------------------------------------------------
@@ -442,7 +447,7 @@ func (s *Socket) EnqueueKernel(ctas []smcore.CTA) {
 	s.ctasLeft = len(ctas)
 	if s.ctasLeft == 0 {
 		// No work for this socket in this kernel.
-		s.eng.Schedule(1, func(sim.Time) { s.onAllDone(s.id) })
+		s.eng.ScheduleThunk(1, s.allDoneFn)
 		return
 	}
 	for _, sm := range s.SMs {
@@ -525,11 +530,17 @@ func (s *Socket) flushDirty(dirty []mem.Victim) {
 	}
 	if localLines > 0 {
 		s.drain.Inc()
-		s.dram.Write(localLines*arch.LineSize, func(sim.Time) { s.drain.Dec() })
+		s.dram.WriteFunc(localLines*arch.LineSize, s.drainDecFn)
 	}
-	for home, n := range perHome {
-		s.drain.Inc()
-		s.remote.RemoteWriteBulk(s.id, home, n, func() { s.drain.Dec() })
+	// Flush bursts must leave in socket order, not map order: ranging
+	// over perHome directly made the schedule — and through it the whole
+	// simulation — vary from process to process on ≥4-socket systems
+	// (caught by the golden-master tier as a 3-cycle flicker in fig11).
+	for home := arch.SocketID(0); int(home) < s.cfg.Sockets; home++ {
+		if n := perHome[home]; n > 0 {
+			s.drain.Inc()
+			s.remote.RemoteWriteBulk(s.id, home, n, s.drainDecFn)
+		}
 	}
 }
 

@@ -42,6 +42,14 @@ func (d *DRAM) Write(size int, done sim.Event) {
 	d.srv.Transfer(size, done)
 }
 
+// WriteFunc is Write for a clock-ignoring completion callback, queued
+// without an adapter closure (drain decrements, bulk flush bursts).
+func (d *DRAM) WriteFunc(size int, done func()) {
+	d.Writes.Inc()
+	d.Bytes.Add(uint64(size))
+	d.srv.TransferFunc(size, done)
+}
+
 // Utilization reports channel utilization over the current sampling
 // window ending at now.
 func (d *DRAM) Utilization(now sim.Time) float64 {

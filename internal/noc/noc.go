@@ -29,6 +29,13 @@ func (x *Crossbar) Send(size int, done sim.Event) {
 	x.srv.Transfer(size, done)
 }
 
+// SendFunc is Send for a clock-ignoring completion callback, queued
+// without a per-message adapter closure (the L2 response fan-out path).
+func (x *Crossbar) SendFunc(size int, done func()) {
+	x.Bytes.Add(uint64(size))
+	x.srv.TransferFunc(size, done)
+}
+
 // Utilization reports crossbar utilization over the window ending now.
 func (x *Crossbar) Utilization(now sim.Time) float64 {
 	return x.Bytes.Utilization(now, x.srv.Bandwidth())

@@ -4,9 +4,15 @@
 // in (time, insertion-order) order. All components of the GPU model share
 // one engine; the simulation is single-threaded, which makes runs exactly
 // reproducible.
+//
+// Internally the engine is a two-level bucketed calendar queue: a ring
+// of per-cycle FIFO buckets covering the near future plus an overflow
+// heap for everything beyond it (see the scheduling invariant on
+// Engine). Nearly every delay in the GPU model is a small constant —
+// cache latencies, NoC hops, compute delays — so almost all traffic
+// takes the O(1) bucket path; only long timers (policy samplers) and
+// deeply backlogged transfers touch the heap.
 package sim
-
-import "container/heap"
 
 // Time is a point in virtual time, measured in clock cycles.
 // The system clock is 1GHz, so one cycle is one nanosecond and a
@@ -16,42 +22,80 @@ type Time uint64
 // Event is a callback scheduled to run at a specific virtual time.
 type Event func(now Time)
 
+// ArgEvent is an event callback carrying a small integer argument.
+// Hot paths that wake per-slot state machines (e.g. warp slots in
+// smcore) schedule one long-lived ArgEvent function value with varying
+// arguments instead of allocating a fresh closure per event.
+type ArgEvent func(now Time, arg int)
+
+// ringBits sizes the near-future ring: 2^ringBits consecutive cycles
+// have their own FIFO bucket. 1024 cycles covers every fixed latency in
+// the model (L1 28, L2 96, DRAM 100, link 128, lane turnaround 100…);
+// the 5K-cycle policy samplers and far-backlogged transfer completions
+// overflow into the far heap, which is exactly as fast as the engine
+// this design replaced.
+const (
+	ringBits = 10
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+)
+
+// scheduled is one queued event. Exactly one of fn, tfn, afn is set;
+// the three variants exist so call sites can schedule what they already
+// hold (an Event, a plain completion func(), or a shared ArgEvent plus
+// argument) without wrapping it in a fresh closure.
 type scheduled struct {
 	at  Time
 	seq uint64
 	fn  Event
+	tfn func()
+	afn ArgEvent
+	arg int
 }
 
-type eventHeap []scheduled
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (s *scheduled) call(now Time) {
+	switch {
+	case s.fn != nil:
+		s.fn(now)
+	case s.afn != nil:
+		s.afn(now, s.arg)
+	default:
+		s.tfn()
 	}
-	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduled)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = scheduled{}
-	*h = old[:n-1]
-	return it
+// bucket is the FIFO of one ring cycle: items[head:] are pending,
+// items[:head] have run. The backing array is retained across cycles
+// (head==len resets to items[:0]), so a warmed-up engine schedules and
+// executes bucket events with zero allocations.
+type bucket struct {
+	items []scheduled
+	head  int
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
+//
+// Scheduling invariant: every queued event with time in [now, now+ringSize)
+// lives in ring bucket (time & ringMask); every event at or beyond
+// now+ringSize lives in the far heap, ordered by (time, seq). Whenever
+// the clock advances, far events whose time has entered the window
+// migrate into their buckets — in (time, seq) order, and always before
+// any event of the new cycle executes — so bucket FIFO order is seq
+// order and the global (time, insertion-order) contract holds exactly.
+//
+// An Engine may keep running across multiple scheduling waves: after
+// Run drains the queue, more events can be scheduled and Run called
+// again, with the clock continuing from where it stopped. To reuse an
+// Engine for an unrelated fresh simulation, call Reset — never rely on
+// a drained queue alone, since a RunUntil stop or a stopped Ticker can
+// leave events pending that would leak into the next run.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	nRun   uint64
+	now   Time
+	seq   uint64
+	nRun  uint64
+	ringN int // events currently resident in ring buckets
+	far   farHeap
+	ring  [ringSize]bucket
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -65,13 +109,41 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.nRun }
 
 // Pending reports how many events are waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.ringN + len(e.far) }
+
+// insert queues it at absolute time at (which must be >= e.now).
+func (e *Engine) insert(at Time, it scheduled) {
+	e.seq++
+	it.at = at
+	it.seq = e.seq
+	if at < e.now+ringSize {
+		b := &e.ring[at&ringMask]
+		b.items = append(b.items, it)
+		e.ringN++
+		return
+	}
+	e.far.push(it)
+}
 
 // Schedule runs fn after delay cycles. A delay of zero runs fn later in
 // the current cycle, after all previously scheduled events for this cycle.
 func (e *Engine) Schedule(delay Time, fn Event) {
-	e.seq++
-	heap.Push(&e.events, scheduled{at: e.now + delay, seq: e.seq, fn: fn})
+	e.insert(e.now+delay, scheduled{fn: fn})
+}
+
+// ScheduleThunk is Schedule for a callback that ignores the clock:
+// completion notifications that already close over their state can be
+// queued directly instead of being wrapped in a func(Time) adapter.
+func (e *Engine) ScheduleThunk(delay Time, fn func()) {
+	e.insert(e.now+delay, scheduled{tfn: fn})
+}
+
+// ScheduleArg runs fn(now, arg) after delay cycles. fn is typically a
+// single function value stored for the lifetime of a component, with
+// arg selecting the slot/lane/index to act on — the allocation-free
+// alternative to a per-event closure.
+func (e *Engine) ScheduleArg(delay Time, fn ArgEvent, arg int) {
+	e.insert(e.now+delay, scheduled{afn: fn, arg: arg})
 }
 
 // At runs fn at absolute time at. If at is in the past it runs at the
@@ -80,19 +152,83 @@ func (e *Engine) At(at Time, fn Event) {
 	if at < e.now {
 		at = e.now
 	}
-	e.seq++
-	heap.Push(&e.events, scheduled{at: at, seq: e.seq, fn: fn})
+	e.insert(at, scheduled{fn: fn})
+}
+
+// AtThunk is At for a clock-ignoring callback; see ScheduleThunk.
+func (e *Engine) AtThunk(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.insert(at, scheduled{tfn: fn})
+}
+
+// setNow advances the clock to t and restores the scheduling invariant:
+// far events whose time entered [t, t+ringSize) migrate into their ring
+// buckets. The heap pops in (time, seq) order and migration for a given
+// cycle always happens before anything can append to that cycle's
+// bucket directly, so FIFO-by-seq order within every bucket survives.
+func (e *Engine) setNow(t Time) {
+	e.now = t
+	horizon := t + ringSize
+	for len(e.far) > 0 && e.far[0].at < horizon {
+		it := e.far.pop()
+		b := &e.ring[it.at&ringMask]
+		b.items = append(b.items, it)
+		e.ringN++
+	}
+}
+
+// advance moves the clock to the time of the next queued event,
+// reporting whether one existed.
+func (e *Engine) advance() bool {
+	t, ok := e.peek()
+	if !ok {
+		return false
+	}
+	e.setNow(t)
+	return true
+}
+
+// peek reports the time of the next queued event without running it.
+func (e *Engine) peek() (Time, bool) {
+	if e.ringN > 0 {
+		// The next event is in the ring (far events are all ≥ now+ringSize)
+		// and within the window, so this scan terminates in ≤ ringSize
+		// probes; buckets of already-executed cycles are reset to empty,
+		// so starting at now is safe even after the current cycle drains.
+		for t := e.now; ; t++ {
+			b := &e.ring[t&ringMask]
+			if b.head < len(b.items) {
+				return t, true
+			}
+		}
+	}
+	if len(e.far) > 0 {
+		return e.far[0].at, true
+	}
+	return 0, false
 }
 
 // Step executes the single next event and reports whether one existed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
-		return false
+	b := &e.ring[e.now&ringMask]
+	if b.head >= len(b.items) {
+		if !e.advance() {
+			return false
+		}
+		b = &e.ring[e.now&ringMask]
 	}
-	it := heap.Pop(&e.events).(scheduled)
-	e.now = it.at
+	it := b.items[b.head]
+	b.items[b.head] = scheduled{} // release callback references
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	e.ringN--
 	e.nRun++
-	it.fn(e.now)
+	it.call(e.now)
 	return true
 }
 
@@ -104,14 +240,90 @@ func (e *Engine) Run() Time {
 }
 
 // RunUntil executes events with time ≤ deadline. It returns true if the
-// queue drained, false if the deadline stopped execution first.
+// queue drained, false if the deadline stopped execution first (leaving
+// the clock at deadline and later events still queued). A deadline in
+// the past executes nothing and leaves the clock where it is — virtual
+// time never moves backward.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.events) > 0 {
-		if e.events[0].at > deadline {
-			e.now = deadline
+	if deadline < e.now {
+		return e.Pending() == 0
+	}
+	for {
+		t, ok := e.peek()
+		if !ok {
+			return true
+		}
+		if t > deadline {
+			e.setNow(deadline)
 			return false
 		}
 		e.Step()
 	}
-	return true
+}
+
+// Reset returns the engine to its zero state: clock at zero, no pending
+// events, counters cleared. Use it before reusing an Engine for a fresh
+// simulation — any events still queued (after a RunUntil stop, a
+// stopped Ticker, or an abandoned run) are discarded rather than leaking
+// into the next run. Bucket backing arrays are released along with the
+// event callbacks they reference.
+func (e *Engine) Reset() {
+	for i := range e.ring {
+		e.ring[i] = bucket{}
+	}
+	e.far = nil
+	e.now, e.seq, e.nRun, e.ringN = 0, 0, 0, 0
+}
+
+// farHeap is the overflow level: a binary min-heap of events at or
+// beyond the ring window, ordered by (time, seq). Hand-rolled rather
+// than container/heap so pushes stay free of interface boxing.
+type farHeap []scheduled
+
+func (h farHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *farHeap) push(it scheduled) {
+	*h = append(*h, it)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *farHeap) pop() scheduled {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = scheduled{} // release callback references
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
 }

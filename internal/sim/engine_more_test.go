@@ -1,0 +1,249 @@
+package sim
+
+import "testing"
+
+// TestPendingExecutedAccounting pins the bookkeeping across both levels
+// of the calendar queue: ring events, far-heap events, and migration
+// between them must keep Pending + Executed consistent.
+func TestPendingExecutedAccounting(t *testing.T) {
+	e := New()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func(Time) {}) // ring
+	}
+	for i := 0; i < 5; i++ {
+		e.Schedule(ringSize+Time(i*100), func(Time) {}) // far heap
+	}
+	if got := e.Pending(); got != 15 {
+		t.Fatalf("Pending %d, want 15", got)
+	}
+	if got := e.Executed(); got != 0 {
+		t.Fatalf("Executed %d before running, want 0", got)
+	}
+	for i := 1; i <= 3; i++ {
+		e.Step()
+	}
+	if got := e.Pending(); got != 12 {
+		t.Fatalf("Pending %d after 3 steps, want 12", got)
+	}
+	if got := e.Executed(); got != 3 {
+		t.Fatalf("Executed %d after 3 steps, want 3", got)
+	}
+	e.Run()
+	if got, want := e.Pending(), 0; got != want {
+		t.Fatalf("Pending %d after drain, want %d", got, want)
+	}
+	if got := e.Executed(); got != 15 {
+		t.Fatalf("Executed %d after drain, want 15", got)
+	}
+}
+
+// TestRingBoundaryDelays exercises delays straddling the ring window:
+// exactly ringSize-1 (last ring bucket), ringSize and beyond (far
+// heap), and events that migrate across as the clock advances.
+func TestRingBoundaryDelays(t *testing.T) {
+	e := New()
+	var order []int
+	for i, d := range []Time{ringSize - 1, ringSize, ringSize + 1, 1, 2 * ringSize} {
+		i := i
+		e.Schedule(d, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	want := []int{3, 0, 1, 2, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 2*ringSize {
+		t.Fatalf("final clock %d, want %d", e.Now(), 2*ringSize)
+	}
+}
+
+// TestSameCycleFIFOAcrossVariants pins FIFO order within one cycle when
+// the three scheduling variants interleave.
+func TestSameCycleFIFOAcrossVariants(t *testing.T) {
+	e := New()
+	var order []int
+	rec := func(i int) func(Time) { return func(Time) { order = append(order, i) } }
+	e.Schedule(7, rec(0))
+	e.ScheduleThunk(7, func() { order = append(order, 1) })
+	e.ScheduleArg(7, func(_ Time, arg int) { order = append(order, arg) }, 2)
+	e.At(7, rec(3))
+	e.AtThunk(7, func() { order = append(order, 4) })
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("variant interleave broke same-cycle FIFO: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d events, want 5", len(order))
+	}
+}
+
+// TestEngineReuseAcrossRuns documents that an Engine keeps working
+// across scheduling waves: Run, schedule more, Run again, with the
+// clock carrying forward (this is how core.System's kernel boundaries
+// already use it).
+func TestEngineReuseAcrossRuns(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(Time) {})
+	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("clock %d after first run, want 10", e.Now())
+	}
+	var at Time
+	e.Schedule(5, func(now Time) { at = now })
+	e.Run()
+	if at != 15 {
+		t.Fatalf("second wave ran at %d, want 15 (clock continues)", at)
+	}
+	if e.Executed() != 2 {
+		t.Fatalf("Executed %d, want 2", e.Executed())
+	}
+}
+
+// TestResetDiscardsPendingEvents pins the Reset contract: events left
+// queued — in the ring and the far heap, e.g. by a RunUntil stop or a
+// stopped Ticker — are discarded, not leaked into the next run. This
+// is what makes Engine reuse safe with pooled bucket storage.
+func TestResetDiscardsPendingEvents(t *testing.T) {
+	e := New()
+	leaked := false
+	for i := 0; i < 20; i++ {
+		e.Schedule(Time(50+i), func(Time) { leaked = true })
+	}
+	e.Schedule(ringSize*3, func(Time) { leaked = true })
+	if !e.RunUntil(10) {
+		// expected: deadline stops execution with events still queued
+	} else {
+		t.Fatal("queue should not drain by t=10")
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Executed() != 0 {
+		t.Fatalf("Reset left state: now=%d pending=%d executed=%d", e.Now(), e.Pending(), e.Executed())
+	}
+	// A fresh simulation on the reused engine: only its own events run.
+	var ran []Time
+	e.Schedule(3, func(now Time) { ran = append(ran, now) })
+	e.Run()
+	if leaked {
+		t.Fatal("Reset leaked a pre-reset event into the new run")
+	}
+	if len(ran) != 1 || ran[0] != 3 {
+		t.Fatalf("post-reset run saw %v, want [3]", ran)
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("Executed %d after reset+run, want 1", e.Executed())
+	}
+}
+
+// TestResetReference pins the same contract on the reference engine so
+// the two stay interchangeable in the differential tests.
+func TestResetReference(t *testing.T) {
+	e := NewReference()
+	e.Schedule(100, func(Time) { t.Fatal("leaked") })
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 {
+		t.Fatalf("reference Reset left state: pending=%d now=%d", e.Pending(), e.Now())
+	}
+	e.Run()
+}
+
+// TestRunUntilParksClockAndMigrates pins that a deadline stop parks the
+// clock at the deadline (original engine behaviour) and that scheduling
+// relative to the parked clock works across the ring window.
+func TestRunUntilParksClockAndMigrates(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(ringSize+500, func(Time) { count++ })
+	if e.RunUntil(ringSize) {
+		t.Fatal("queue should not drain by the window edge")
+	}
+	if e.Now() != ringSize {
+		t.Fatalf("clock %d after deadline stop, want %d", e.Now(), ringSize)
+	}
+	// The far event is now within the ring window of the parked clock;
+	// a new same-cycle insert after it must still run after it.
+	ran := []int{}
+	e.At(ringSize+500, func(Time) { ran = append(ran, 2) })
+	e.Schedule(0, func(Time) { ran = append(ran, 1) })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("far event ran %d times, want 1", count)
+	}
+	if len(ran) != 2 || ran[0] != 1 || ran[1] != 2 {
+		t.Fatalf("post-park ordering %v, want [1 2]", ran)
+	}
+}
+
+// TestRunUntilPastDeadline pins that a deadline behind the clock is a
+// pure no-op: nothing executes, the clock stays put, and queued events
+// later run at their scheduled times. (Without the clamp the bucketed
+// engine would rewind the clock, shift the ring window, and execute
+// the queued event at an aliased earlier cycle.)
+func TestRunUntilPastDeadline(t *testing.T) {
+	for _, eng := range []schedulerAPI{New(), NewReference()} {
+		e := eng
+		e.Schedule(500, func(Time) {})
+		e.Run() // park the clock at 500
+		var ran Time
+		e.At(1200, func(now Time) { ran = now })
+		if e.RunUntil(100) {
+			t.Fatal("past deadline with a queued event must report not drained")
+		}
+		if e.Now() != 500 {
+			t.Fatalf("past deadline moved the clock: %d, want 500", e.Now())
+		}
+		if e.Pending() != 1 {
+			t.Fatalf("past deadline disturbed the queue: %d pending, want 1", e.Pending())
+		}
+		e.Run()
+		if ran != 1200 {
+			t.Fatalf("event ran at %d, want 1200", ran)
+		}
+		if !e.RunUntil(3) { // drained engine: past deadline reports drained
+			t.Fatal("past deadline on a drained engine must report drained")
+		}
+	}
+}
+
+// TestTicker pins the recurring-clock helper: period, callback clock,
+// and the stop-is-a-flag cancellation semantics.
+func TestTicker(t *testing.T) {
+	e := New()
+	var fires []Time
+	tk := NewTicker(e, 10, func(now Time) { fires = append(fires, now) })
+	tk.Start()
+	e.RunUntil(35)
+	if len(fires) != 3 || fires[0] != 10 || fires[1] != 20 || fires[2] != 30 {
+		t.Fatalf("ticker fired at %v, want [10 20 30]", fires)
+	}
+	tk.Stop()
+	e.Run() // the queued tick fires as a no-op and does not reschedule
+	if len(fires) != 3 {
+		t.Fatalf("stopped ticker kept firing: %v", fires)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("stopped ticker left %d events pending after drain", e.Pending())
+	}
+}
+
+// TestTickerMinimumPeriod guards against a zero-period livelock.
+func TestTickerMinimumPeriod(t *testing.T) {
+	e := New()
+	n := 0
+	tk := NewTicker(e, 0, func(Time) {
+		n++
+		if n >= 5 {
+			e.RunUntil(e.Now()) // no-op; just to have a body
+		}
+	})
+	tk.Start()
+	e.RunUntil(5)
+	tk.Stop()
+	e.Run()
+	if n != 5 {
+		t.Fatalf("period-0 ticker (clamped to 1) fired %d times by t=5, want 5", n)
+	}
+}

@@ -46,6 +46,27 @@ func (s *Server) BusyUntil() Time { return Time(math.Ceil(s.nextFree)) }
 // fire-and-forget traffic whose completion is tracked elsewhere. It
 // returns the completion time.
 func (s *Server) Transfer(size int, done Event) Time {
+	complete := s.occupy(size)
+	if done != nil {
+		s.eng.At(complete, done)
+	}
+	return complete
+}
+
+// TransferFunc is Transfer for a clock-ignoring completion callback:
+// the caller's existing func() is queued directly instead of being
+// wrapped in a fresh func(Time) closure.
+func (s *Server) TransferFunc(size int, done func()) Time {
+	complete := s.occupy(size)
+	if done != nil {
+		s.eng.AtThunk(complete, done)
+	}
+	return complete
+}
+
+// occupy books size bytes of serialization time and returns the cycle
+// at which the transfer completes.
+func (s *Server) occupy(size int) Time {
 	now := float64(s.eng.Now())
 	start := s.nextFree
 	if start < now {
@@ -56,11 +77,7 @@ func (s *Server) Transfer(size int, done Event) Time {
 		dur = float64(size) / s.bandwidth
 	}
 	s.nextFree = start + dur
-	complete := Time(math.Ceil(s.nextFree)) + s.latency
-	if done != nil {
-		s.eng.At(complete, done)
-	}
-	return complete
+	return Time(math.Ceil(s.nextFree)) + s.latency
 }
 
 // Stall reserves the server for the given number of cycles without

@@ -48,6 +48,12 @@ type SM struct {
 	ctaLeft  map[int]int // warps still live per resident CTA
 	onCTADne func(smID, ctaID int)
 
+	// Long-lived event callbacks, bound once at construction so the
+	// per-cycle issue loop and per-instruction warp wakeups schedule
+	// without allocating a closure per event.
+	tickEv sim.Event
+	wakeEv sim.ArgEvent
+
 	// Statistics.
 	Issued     stats.Counter
 	LoadOps    stats.Counter
@@ -79,6 +85,8 @@ func NewSM(eng *sim.Engine, port MemPort, id, maxWarps, maxCTAs, issueWidth int,
 	for i := range s.free {
 		s.free[i] = maxWarps - 1 - i
 	}
+	s.tickEv = s.issueTick
+	s.wakeEv = func(_ sim.Time, slot int) { s.wake(slot) }
 	return s
 }
 
@@ -153,7 +161,7 @@ func (s *SM) kick() {
 		return
 	}
 	s.running = true
-	s.eng.Schedule(0, s.issueTick)
+	s.eng.Schedule(0, s.tickEv)
 }
 
 func (s *SM) issueTick(now sim.Time) {
@@ -170,7 +178,7 @@ func (s *SM) issueTick(now sim.Time) {
 		s.BusyCycles.Inc()
 	}
 	if s.anyReady() {
-		s.eng.Schedule(1, s.issueTick)
+		s.eng.Schedule(1, s.tickEv)
 	} else {
 		s.running = false
 	}
@@ -228,7 +236,7 @@ func (s *SM) execute(now sim.Time, slot int) {
 			// for compute-heavy instructions.
 			if comp > 1 {
 				w.state = warpWaitComp
-				s.eng.Schedule(sim.Time(comp), func(sim.Time) { s.wake(slot) })
+				s.eng.ScheduleArg(sim.Time(comp), s.wakeEv, slot)
 				return
 			}
 			s.wake(slot)
@@ -251,7 +259,7 @@ func (s *SM) delayReady(slot int, comp uint32) {
 		return
 	}
 	w.state = warpWaitComp
-	s.eng.Schedule(sim.Time(comp), func(sim.Time) { s.wake(slot) })
+	s.eng.ScheduleArg(sim.Time(comp), s.wakeEv, slot)
 }
 
 // wake returns a waiting warp to the ready ring and restarts issue.

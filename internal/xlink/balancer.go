@@ -41,7 +41,7 @@ func donorCanSpare(util float64, lanes int) bool {
 type Balancer struct {
 	link   *Link
 	sample sim.Time
-	stop   bool
+	ticker *sim.Ticker
 	lean   int // last window's imbalance: +1 egress-starved, -1 ingress-starved
 
 	// Exponentially weighted moving averages of directional utilization
@@ -66,21 +66,17 @@ func NewBalancer(link *Link, sampleTime int) *Balancer {
 
 // Start begins periodic sampling on eng. The balancer runs until Stop.
 func (b *Balancer) Start(eng *sim.Engine) {
-	b.stop = false
 	b.link.ResetWindow(eng.Now())
-	var tick sim.Event
-	tick = func(now sim.Time) {
-		if b.stop {
-			return
-		}
-		b.Step(now)
-		eng.Schedule(b.sample, tick)
-	}
-	eng.Schedule(b.sample, tick)
+	b.ticker = sim.NewTicker(eng, b.sample, b.Step)
+	b.ticker.Start()
 }
 
 // Stop halts sampling after the current tick.
-func (b *Balancer) Stop() { b.stop = true }
+func (b *Balancer) Stop() {
+	if b.ticker != nil {
+		b.ticker.Stop()
+	}
+}
 
 // Step runs one sampling decision at time now. Exposed for tests.
 func (b *Balancer) Step(now sim.Time) {

@@ -50,6 +50,23 @@ func (f *Fabric) Route(src, dst arch.SocketID, size int, done sim.Event) {
 	})
 }
 
+// RouteFunc is Route for a clock-ignoring delivery callback; the
+// core-package remote memory protocol uses it to queue its func()
+// continuations without per-message adapter closures.
+func (f *Fabric) RouteFunc(src, dst arch.SocketID, size int, done func()) {
+	if src == dst {
+		if done != nil {
+			f.eng.ScheduleThunk(f.switchLat, done)
+		}
+		return
+	}
+	f.links[src].Send(Egress, size, func(sim.Time) {
+		f.eng.Schedule(f.switchLat, func(sim.Time) {
+			f.links[dst].SendFunc(Ingress, size, done)
+		})
+	})
+}
+
 // ResetSymmetric restores every link to the symmetric assignment and
 // opens fresh sampling windows (invoked at kernel launches).
 func (f *Fabric) ResetSymmetric(now sim.Time) {

@@ -96,6 +96,15 @@ func (l *Link) Send(dir Direction, size int, done sim.Event) {
 	l.srv[dir].Transfer(size, done)
 }
 
+// SendFunc is Send for a clock-ignoring completion callback, queued
+// without an adapter closure (the remote read/write ack paths).
+func (l *Link) SendFunc(dir Direction, size int, done func()) {
+	l.Sent[dir].Advance(uint64(size))
+	l.balBytes[dir].Add(uint64(size))
+	l.profBytes[dir].Add(uint64(size))
+	l.srv[dir].TransferFunc(size, done)
+}
+
 // Utilization reports dir's utilization over the balancer window ending
 // at now.
 func (l *Link) Utilization(dir Direction, now sim.Time) float64 {

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — measure the simulation event core and emit
+# BENCH_sim.json: engine microbenchmarks (ns/event, allocs/event,
+# events/sec) for the bucketed scheduler and the reference heap it
+# replaced, plus the wall-clock time of regenerating every experiment
+# at -quick scale. See docs/PERF.md for how to read the output.
+#
+#   scripts/bench.sh            # full run: 1s benchtime + the -quick suite
+#   scripts/bench.sh --fast     # CI smoke: 100ms benchtime, no -quick suite
+#   scripts/bench.sh --no-quick # full benchtime, skip the -quick suite
+#
+# BENCHTIME=2s scripts/bench.sh overrides the benchmark time.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+RUN_QUICK=1
+for arg in "$@"; do
+  case "$arg" in
+    --fast) BENCHTIME=100ms; RUN_QUICK=0 ;;
+    --no-quick) RUN_QUICK=0 ;;
+    *) echo "usage: scripts/bench.sh [--fast] [--no-quick]" >&2; exit 2 ;;
+  esac
+done
+
+out=BENCH_sim.json
+benchout=$(go test -run '^$' -bench Engine -benchmem -benchtime "$BENCHTIME" ./internal/sim)
+printf '%s\n' "$benchout"
+
+quick_wall=null
+if [ "$RUN_QUICK" = 1 ]; then
+  echo "timing numagpu -quick all (full 15-experiment suite)..." >&2
+  bin=$(mktemp -t numagpu.XXXXXX)
+  go build -o "$bin" ./cmd/numagpu
+  start=$(date +%s%N)
+  "$bin" -quick all > /dev/null
+  end=$(date +%s%N)
+  rm -f "$bin"
+  quick_wall=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
+fi
+
+printf '%s\n' "$benchout" | awk \
+  -v quick_wall="$quick_wall" \
+  -v benchtime="$BENCHTIME" \
+  -v goversion="$(go env GOVERSION)" \
+  -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  for (i = 2; i < NF; i++) {
+    if ($(i+1) == "ns/op")     ns[name] = $i
+    if ($(i+1) == "allocs/op") al[name] = $i
+  }
+}
+function entry(name,    s) {
+  s = sprintf("{\"ns_per_event\": %s, \"allocs_per_event\": %s", ns[name], al[name])
+  if (ns[name] + 0 > 0)
+    s = s sprintf(", \"events_per_sec\": %.0f", 1e9 / ns[name])
+  return s "}"
+}
+END {
+  printf "{\n"
+  printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+  printf "  \"date\": \"%s\",\n", date
+  printf "  \"go\": \"%s\",\n", goversion
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"engine\": {\n"
+  printf "    \"steady_state\": %s,\n",   entry("BenchmarkEngineSteadyState")
+  printf "    \"mixed_delays\": %s,\n",   entry("BenchmarkEngineMixedDelays")
+  printf "    \"same_cycle_fifo\": %s,\n", entry("BenchmarkEngineSameCycleFIFO")
+  printf "    \"schedule_arg\": %s,\n",   entry("BenchmarkEngineScheduleArg")
+  printf "    \"far_future\": %s\n",      entry("BenchmarkEngineFarFuture")
+  printf "  },\n"
+  printf "  \"reference_engine\": {\n"
+  printf "    \"steady_state\": %s,\n", entry("BenchmarkReferenceEngineSteadyState")
+  printf "    \"mixed_delays\": %s,\n", entry("BenchmarkReferenceEngineMixedDelays")
+  printf "    \"far_future\": %s\n",    entry("BenchmarkReferenceEngineFarFuture")
+  printf "  },\n"
+  printf "  \"speedup_steady_state\": %.2f,\n", ns["BenchmarkReferenceEngineSteadyState"] / ns["BenchmarkEngineSteadyState"]
+  printf "  \"speedup_mixed_delays\": %.2f,\n", ns["BenchmarkReferenceEngineMixedDelays"] / ns["BenchmarkEngineMixedDelays"]
+  printf "  \"quick_all_wall_seconds\": %s\n", quick_wall
+  printf "}\n"
+}' > "$out"
+
+echo "wrote $out" >&2
+cat "$out"
