@@ -17,6 +17,8 @@
 //	-j n           simulations to run in parallel (default GOMAXPROCS)
 //	-csv dir       also write each experiment's table as CSV into dir
 //	-json          print each experiment as a JSON object instead of text
+//	-cpuprofile f  write a CPU profile of the run to f
+//	-memprofile f  write a heap profile (after GC) to f on exit
 //	-v             per-run progress on stderr
 //
 // See docs/EXPERIMENTS.md for what each experiment reproduces and the
@@ -34,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/exp"
@@ -55,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
 	csvDir := fs.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonOut := fs.Bool("json", false, "print each experiment as a JSON object instead of text")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	verbose := fs.Bool("v", false, "per-run progress on stderr")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +72,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return 2
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale, Parallelism: *parallel}
 	if *quick {

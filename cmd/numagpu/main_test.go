@@ -154,6 +154,35 @@ func TestRunCSVOutput(t *testing.T) {
 	}
 }
 
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, stderr := runCLI(t, "-cpuprofile", cpu, "-memprofile", mem, "table1")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunCPUProfileBadPath(t *testing.T) {
+	code, _, stderr := runCLI(t, "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir"), "table1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "cpuprofile:") {
+		t.Fatalf("stderr missing cpuprofile error:\n%s", stderr)
+	}
+}
+
 func TestRunCSVBadDir(t *testing.T) {
 	code, _, stderr := runCLI(t, "-csv", filepath.Join(t.TempDir(), "missing", "nested"), "table1")
 	if code != 1 {

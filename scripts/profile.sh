@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# scripts/profile.sh — profile the simulator and print where the time
+# and the allocations go. Two modes:
+#
+#   scripts/profile.sh [experiment]   # profile `numagpu -quick <experiment>`
+#                                     # (default: fig6, a simulation-heavy one)
+#   scripts/profile.sh --model        # profile the model-level benchmarks
+#                                     # (internal/gpu BenchmarkModel*)
+#
+# Profiles land in $PROFILE_DIR (default /tmp/numagpu-prof) and are
+# summarized with `go tool pprof -top`. Open one interactively with e.g.
+#
+#   go tool pprof -http=:8080 /tmp/numagpu-prof/cpu.pprof
+#
+# See docs/PERF.md ("Model datapath") for how to read the result.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${PROFILE_DIR:-/tmp/numagpu-prof}"
+mkdir -p "$out"
+
+if [ "${1:-}" = "--model" ]; then
+  go test -run '^$' -bench Model -benchtime "${BENCHTIME:-1s}" -benchmem \
+    -cpuprofile "$out/cpu.pprof" -memprofile "$out/mem.pprof" \
+    -o "$out/gpu.test" ./internal/gpu
+  bin="$out/gpu.test"
+else
+  experiment="${1:-fig6}"
+  go build -o "$out/numagpu" ./cmd/numagpu
+  "$out/numagpu" -quick -cpuprofile "$out/cpu.pprof" -memprofile "$out/mem.pprof" \
+    "$experiment" > /dev/null
+  bin="$out/numagpu"
+fi
+
+echo
+echo "=== CPU: top 15 ($out/cpu.pprof) ==="
+go tool pprof -top -nodecount 15 "$bin" "$out/cpu.pprof"
+echo
+echo "=== Heap: top 15 by allocated objects ($out/mem.pprof) ==="
+go tool pprof -top -nodecount 15 -sample_index=alloc_objects "$bin" "$out/mem.pprof"
