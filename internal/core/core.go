@@ -170,7 +170,27 @@ func (s *System) Run(prog Program) Result {
 		}
 		panic(msg)
 	}
+	s.verifyQuiesced()
 	return s.collect(prog.Name)
+}
+
+// verifyQuiesced asserts the model invariant that a completed run left
+// no miss-merge entry or pooled datapath record live on any socket: a
+// leak here means a load completion was lost or a pooled continuation
+// was dropped (it would previously have been an unreachable closure;
+// with the pooled datapath it is detectable, so every run checks).
+func (s *System) verifyQuiesced() {
+	for i, sock := range s.sockets {
+		if l1, l2, rm := sock.DebugPending(); l1+l2+rm != 0 {
+			panic(fmt.Sprintf("core: socket %d finished with pending MSHR entries: l1=%d l2=%d rm=%d", i, l1, l2, rm))
+		}
+		// Each counter is checked individually: a double-release in one
+		// pool (-1) must not cancel a leak in another (+1).
+		if txs, reqs, waiters, homes := sock.DebugPoolsInUse(); txs != 0 || reqs != 0 || waiters != 0 || homes != 0 {
+			panic(fmt.Sprintf("core: socket %d leaked pooled datapath records: txs=%d reqs=%d waiters=%d homes=%d",
+				i, txs, reqs, waiters, homes))
+		}
+	}
 }
 
 func (s *System) startPolicies() {

@@ -1,0 +1,8 @@
+//go:build race
+
+package gpu
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are meaningless under its extra
+// bookkeeping allocations and are skipped.
+const raceEnabled = true

@@ -27,12 +27,15 @@ type Remote interface {
 	RemoteWriteBulk(src, home arch.SocketID, n int, done func())
 }
 
-type l2Waiter struct {
-	sm   int
-	done func()
-}
-
 // Socket is one GPU of the multi-socket system.
+//
+// Its memory datapath is an allocation-free transaction pipeline: a
+// warp load allocates one pooled memTx, each L1 miss or store one
+// pooled lineReq, and every stage (NoC hop, L2 lookup, DRAM fetch,
+// response, L1 fill) schedules the next via a pre-bound sim.ArgEvent
+// carrying the pool index — no closure is created anywhere on the
+// local load or store path. MSHR merging runs through open-addressed
+// tables whose merged waiters are pooled chain nodes (see mshr.go).
 type Socket struct {
 	eng    *sim.Engine
 	cfg    arch.Config
@@ -48,10 +51,37 @@ type Socket struct {
 	l2   *mem.Cache
 	dram *mem.DRAM
 
-	// MSHR-style merge tables.
-	l1Pending []map[arch.LineID][]func() // per SM
-	l2Pending map[arch.LineID][]l2Waiter // local lines fetching from DRAM
-	rmPending map[arch.LineID][]l2Waiter // remote lines fetching over the link
+	// MSHR-style merge tables (open-addressed; see mshr.go). L1 waiter
+	// chains hold memTx indices, L2/remote chains hold lineReq indices.
+	l1Pending []mshrTable // per SM
+	l2Pending mshrTable   // local lines fetching from DRAM
+	rmPending mshrTable   // remote lines fetching over the link
+
+	// Datapath record pools.
+	txs   txPool
+	reqs  reqPool
+	chain waiterPool
+	homes homePool
+
+	// Pre-bound stage continuations (one method value each, bound at
+	// construction; every event on the datapath reuses them with a pool
+	// index as argument).
+	txLineDoneEv sim.ArgEvent
+	l2ReqEv      sim.ArgEvent
+	l2RespEv     sim.ArgEvent
+	l1FillEv     sim.ArgEvent
+	l1DoneEv     sim.ArgEvent
+	dramRespEv   sim.ArgEvent
+	storeEv      sim.ArgEvent
+	homeReadEv   sim.ArgEvent
+
+	// onLoadDone dispatches a completed warp load back to its SM; tests
+	// and benchmarks may replace it to observe completions directly.
+	onLoadDone func(sm, slot int)
+
+	// memSide reports whether the L2 (or its local half) is a
+	// memory-side cache that allocates for remote requesters.
+	memSide bool
 
 	// CTA dispatch.
 	queue      []smcore.CTA
@@ -71,6 +101,10 @@ type Socket struct {
 	// store drains and writebacks schedule without a per-event closure.
 	drainDecFn func()
 	allDoneFn  func()
+
+	// flushPerHome is the reusable per-flush dirty-line tally, indexed
+	// by home socket (replaces a map allocated per flush).
+	flushPerHome []int
 
 	// Statistics.
 	LoadsLocal   stats.Counter
@@ -95,15 +129,35 @@ func NewSocket(eng *sim.Engine, cfg arch.Config, id arch.SocketID, memMap *vmm.M
 		xbar:      noc.New(eng, cfg.NoCBandwidth, cfg.NoCLatency),
 		l2:        mem.NewCache(cfg.L2Bytes, cfg.L2Assoc),
 		dram:      mem.NewDRAM(eng, cfg.DRAMBandwidth, cfg.DRAMLatency),
-		l2Pending: make(map[arch.LineID][]l2Waiter),
-		rmPending: make(map[arch.LineID][]l2Waiter),
 		onAllDone: onAllDone,
+		memSide:   cfg.CacheMode == arch.CacheMemSideLocal || cfg.CacheMode == arch.CacheStaticPartition,
 	}
 	s.drainDecFn = s.drain.Dec
 	s.allDoneFn = func() { s.onAllDone(s.id) }
+	s.onLoadDone = s.dispatchLoadDone
+
+	warps := cfg.SMsPerSocket * cfg.MaxWarpsPerSM
+	s.txs.init(warps)
+	s.reqs.init(warps)
+	s.chain.init(warps)
+	s.homes.init(64)
+	s.l2Pending.init(256)
+	s.rmPending.init(256)
+	s.flushPerHome = make([]int, cfg.Sockets)
+
+	s.txLineDoneEv = s.txLineDoneArg
+	s.l2ReqEv = s.l2Req
+	s.l2RespEv = s.l2Resp
+	s.l1FillEv = s.l1Fill
+	s.l1DoneEv = s.l1Done
+	s.dramRespEv = s.dramResp
+	s.storeEv = s.storeArrive
+	s.homeReadEv = s.homeReadDone
+
 	for i := 0; i < cfg.SMsPerSocket; i++ {
 		s.l1s = append(s.l1s, mem.NewCache(cfg.L1Bytes, cfg.L1Assoc))
-		s.l1Pending = append(s.l1Pending, make(map[arch.LineID][]func()))
+		s.l1Pending = append(s.l1Pending, mshrTable{})
+		s.l1Pending[i].init(64)
 		s.SMs = append(s.SMs, smcore.NewSM(eng, s, i, cfg.MaxWarpsPerSM, cfg.MaxCTAsPerSM, cfg.IssueWidth, s.onCTADone))
 	}
 	s.applyModePartitions()
@@ -151,7 +205,9 @@ func (s *Socket) Link() *xlink.Link { return s.link }
 func (s *Socket) Crossbar() *noc.Crossbar { return s.xbar }
 
 // classOf resolves the NUMA class and home socket of line l for this
-// socket, triggering first-touch placement when applicable.
+// socket, triggering first-touch placement when applicable. This is the
+// single vmm lookup an access pays; the result rides in the pooled
+// lineReq for the rest of the line's lifetime.
 func (s *Socket) classOf(l arch.LineID) (mem.Class, arch.SocketID) {
 	home := s.memMap.Owner(l, s.id)
 	if home == s.id {
@@ -174,28 +230,39 @@ func (s *Socket) l2IsCoherent() bool {
 
 // ---------------------------------------------------------------------
 // smcore.MemPort implementation: the SM-facing side.
+//
+// Stage graph for a load line (each arrow is one pre-bound ArgEvent
+// carrying a pool index; times are identical to the closure-based
+// datapath this replaced):
+//
+//	loadLine ──L1 hit──────────────────────────────▶ txLineDone
+//	    │ miss (lineReq)
+//	    ├─merge──▶ l1Pending chain  (drained by l1Done)
+//	    └─xbar──▶ l2Req ──┬─L2 hit─────▶ l2Resp ──xbar──▶ l1Fill ──▶ l1Done
+//	                      ├─merge─────▶ l2/rmPending chain
+//	                      ├─DRAM──────▶ dramResp ─▶ l2Resp ─▶ …
+//	                      └─remote────▶ remoteResp ─▶ l2Resp ─▶ …
 // ---------------------------------------------------------------------
 
-// Load issues a coalesced warp load from SM sm; done fires once every
-// line has been serviced.
-func (s *Socket) Load(sm int, lines []arch.LineID, done func()) {
+// dispatchLoadDone hands a completed warp load back to its SM.
+func (s *Socket) dispatchLoadDone(sm, slot int) { s.SMs[sm].LoadDone(slot) }
+
+// Load issues a coalesced warp load from SM sm for the warp in slot;
+// the SM's LoadDone(slot) fires once every line has been serviced.
+func (s *Socket) Load(sm int, lines []arch.LineID, slot int) {
 	if len(lines) == 0 {
-		s.eng.ScheduleThunk(1, done)
+		// No lines: complete after the 1-cycle issue turnaround.
+		tx := s.txs.alloc(int32(sm), int32(slot), 1)
+		s.eng.ScheduleArg(1, s.txLineDoneEv, int(tx))
 		return
 	}
-	left := len(lines)
-	oneDone := func() {
-		left--
-		if left == 0 {
-			done()
-		}
-	}
+	tx := s.txs.alloc(int32(sm), int32(slot), int32(len(lines)))
 	for _, l := range lines {
-		s.loadLine(sm, l, oneDone)
+		s.loadLine(sm, l, tx)
 	}
 }
 
-func (s *Socket) loadLine(sm int, l arch.LineID, done func()) {
+func (s *Socket) loadLine(sm int, l arch.LineID, tx int32) {
 	cl, home := s.classOf(l)
 	if cl == mem.ClassLocal {
 		s.LoadsLocal.Inc()
@@ -204,33 +271,72 @@ func (s *Socket) loadLine(sm int, l arch.LineID, done func()) {
 	}
 	l1 := s.l1s[sm]
 	if l1.Lookup(l, cl) {
-		s.eng.ScheduleThunk(sim.Time(s.cfg.L1Latency), done)
+		s.eng.ScheduleArg(sim.Time(s.cfg.L1Latency), s.txLineDoneEv, int(tx))
 		return
 	}
 	// L1 miss: merge with an outstanding miss to the same line.
-	if ws, ok := s.l1Pending[sm][l]; ok {
-		s.l1Pending[sm][l] = append(ws, done)
+	t := &s.l1Pending[sm]
+	if e, ok := t.find(l); ok {
+		t.appendWaiter(e, tx, &s.chain)
 		return
 	}
-	s.l1Pending[sm][l] = nil
-	fill := func() {
-		s.fillL1(sm, l, cl)
-		s.eng.Schedule(sim.Time(s.cfg.L1Latency), func(sim.Time) {
-			done()
-			for _, w := range s.l1Pending[sm][l] {
-				w()
-			}
-			delete(s.l1Pending[sm], l)
-		})
-	}
+	t.insert(l)
+	req := s.reqs.alloc(l, home, cl, int32(sm), tx)
 	// Request crosses the NoC to the L2 complex.
-	s.xbar.Send(s.cfg.RequestHeader, func(sim.Time) {
-		if cl == mem.ClassLocal {
-			s.localL2Read(sm, l, fill)
-		} else {
-			s.remoteRead(sm, l, home, fill)
-		}
-	})
+	s.xbar.SendArg(s.cfg.RequestHeader, s.l2ReqEv, int(req))
+}
+
+// txLineDoneArg retires one line of a warp-load transaction; when it
+// was the last, the SM is notified and the transaction freed.
+func (s *Socket) txLineDoneArg(_ sim.Time, tx int) { s.txLineDone(int32(tx)) }
+
+func (s *Socket) txLineDone(tx int32) {
+	t := &s.txs.txs[tx]
+	t.left--
+	if t.left > 0 {
+		return
+	}
+	sm, slot := int(t.sm), int(t.slot)
+	s.txs.release(tx)
+	s.onLoadDone(sm, slot)
+}
+
+// l2Req services a read request arriving at the L2 complex.
+func (s *Socket) l2Req(_ sim.Time, req int) {
+	if s.reqs.reqs[req].cl == mem.ClassLocal {
+		s.localL2Read(int32(req))
+	} else {
+		s.remoteRead(int32(req))
+	}
+}
+
+// l2Resp pays the L2 access latency and ships the line back over the
+// NoC to the requesting SM.
+func (s *Socket) l2Resp(_ sim.Time, req int) {
+	s.xbar.SendArg(arch.LineSize, s.l1FillEv, req)
+}
+
+// l1Fill installs the returned line in the issuing SM's L1 and pays the
+// L1 fill latency before completion.
+func (s *Socket) l1Fill(_ sim.Time, req int) {
+	r := &s.reqs.reqs[req]
+	s.fillL1(int(r.sm), r.line, r.cl)
+	s.eng.ScheduleArg(sim.Time(s.cfg.L1Latency), s.l1DoneEv, req)
+}
+
+// l1Done completes the primary transaction and every load that merged
+// on the line at the L1 level, in merge order.
+func (s *Socket) l1Done(_ sim.Time, req int) {
+	r := s.reqs.reqs[req] // copied: released before the callbacks run
+	head := s.l1Pending[r.sm].delete(r.line)
+	s.reqs.release(int32(req))
+	s.txLineDone(r.tx)
+	for n := head; n != nilIdx; {
+		node := s.chain.nodes[n]
+		s.chain.release(n)
+		s.txLineDone(node.val)
+		n = node.next
+	}
 }
 
 // fillL1 inserts a returned line into the SM's L1. Write-through L1s
@@ -241,71 +347,82 @@ func (s *Socket) fillL1(sm int, l arch.LineID, cl mem.Class) {
 
 // localL2Read services a local-address read at the L2: hit → respond;
 // miss → DRAM fetch with MSHR merging, fill L2, respond.
-func (s *Socket) localL2Read(sm int, l arch.LineID, done func()) {
-	respond := func() {
-		s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
-			s.xbar.SendFunc(arch.LineSize, done)
-		})
-	}
-	if s.l2.Lookup(l, mem.ClassLocal) {
-		respond()
+func (s *Socket) localL2Read(req int32) {
+	r := &s.reqs.reqs[req]
+	if s.l2.Lookup(r.line, mem.ClassLocal) {
+		s.eng.ScheduleArg(sim.Time(s.cfg.L2Latency), s.l2RespEv, int(req))
 		return
 	}
-	if ws, ok := s.l2Pending[l]; ok {
-		s.l2Pending[l] = append(ws, l2Waiter{sm: sm, done: done})
+	if e, ok := s.l2Pending.find(r.line); ok {
+		s.l2Pending.appendWaiter(e, req, &s.chain)
 		return
 	}
-	s.l2Pending[l] = nil
-	s.dram.Read(arch.LineSize, func(sim.Time) {
-		s.insertL2(l, mem.ClassLocal, false)
-		respond()
-		for _, w := range s.l2Pending[l] {
-			s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
-				s.xbar.SendFunc(arch.LineSize, w.done)
-			})
-		}
-		delete(s.l2Pending, l)
-	})
+	s.l2Pending.insert(r.line)
+	s.dram.ReadArg(arch.LineSize, s.dramRespEv, int(req))
+}
+
+// dramResp fills the fetched line into the L2 and responds to the
+// primary requester and every SM-level request that merged on it.
+func (s *Socket) dramResp(_ sim.Time, req int) {
+	r := &s.reqs.reqs[req]
+	s.insertL2(r.line, mem.ClassLocal, false)
+	head := s.l2Pending.delete(r.line)
+	s.eng.ScheduleArg(sim.Time(s.cfg.L2Latency), s.l2RespEv, req)
+	for n := head; n != nilIdx; {
+		node := s.chain.nodes[n]
+		s.chain.release(n)
+		s.eng.ScheduleArg(sim.Time(s.cfg.L2Latency), s.l2RespEv, int(node.val))
+		n = node.next
+	}
 }
 
 // remoteRead services a remote-address read: in modes that cache remote
 // data the local L2 is consulted first and fills on return; in the
 // memory-side mode every request crosses the link.
-func (s *Socket) remoteRead(sm int, l arch.LineID, home arch.SocketID, done func()) {
+func (s *Socket) remoteRead(req int32) {
+	r := &s.reqs.reqs[req]
 	if s.cachesRemoteInL2() {
-		respond := func() {
-			s.eng.Schedule(sim.Time(s.cfg.L2Latency), func(sim.Time) {
-				s.xbar.SendFunc(arch.LineSize, done)
-			})
-		}
-		if s.l2.Lookup(l, mem.ClassRemote) {
-			respond()
+		if s.l2.Lookup(r.line, mem.ClassRemote) {
+			s.eng.ScheduleArg(sim.Time(s.cfg.L2Latency), s.l2RespEv, int(req))
 			return
 		}
-		if ws, ok := s.rmPending[l]; ok {
-			s.rmPending[l] = append(ws, l2Waiter{sm: sm, done: done})
+		if e, ok := s.rmPending.find(r.line); ok {
+			s.rmPending.appendWaiter(e, req, &s.chain)
 			return
 		}
-		s.rmPending[l] = nil
+		s.rmPending.insert(r.line)
 		s.countRemoteRead()
-		s.remote.RemoteRead(s.id, home, l, func() {
-			s.countRemoteResponse()
-			s.insertL2(l, mem.ClassRemote, false)
-			respond()
-			for _, w := range s.rmPending[l] {
-				s.xbar.SendFunc(arch.LineSize, w.done)
-			}
-			delete(s.rmPending, l)
-		})
+		idx := int(req)
+		s.remote.RemoteRead(s.id, r.home, r.line, func() { s.remoteFillResp(idx) })
 		return
 	}
 	// Mode (a): bypass the local L2, no merging structure exists at the
 	// link endpoint, every L1 miss pays the full remote round trip.
 	s.countRemoteRead()
-	s.remote.RemoteRead(s.id, home, l, func() {
+	idx := int(req)
+	s.remote.RemoteRead(s.id, r.home, r.line, func() {
 		s.countRemoteResponse()
-		s.xbar.SendFunc(arch.LineSize, done)
+		s.xbar.SendArg(arch.LineSize, s.l1FillEv, idx)
 	})
+}
+
+// remoteFillResp handles a remote data response in the cached-remote modes:
+// fill the L2, respond to the primary and to every merged request.
+// Merged waiters skip the L2 latency charge the primary pays — a timing
+// asymmetry kept from the original datapath (localL2Read charges it on
+// both); see the golden-master history for the fix.
+func (s *Socket) remoteFillResp(req int) {
+	r := &s.reqs.reqs[req]
+	s.countRemoteResponse()
+	s.insertL2(r.line, mem.ClassRemote, false)
+	head := s.rmPending.delete(r.line)
+	s.eng.ScheduleArg(sim.Time(s.cfg.L2Latency), s.l2RespEv, req)
+	for n := head; n != nilIdx; {
+		node := s.chain.nodes[n]
+		s.chain.release(n)
+		s.xbar.SendArg(arch.LineSize, s.l1FillEv, int(node.val))
+		n = node.next
+	}
 }
 
 func (s *Socket) countRemoteRead() {
@@ -367,29 +484,35 @@ func (s *Socket) storeLine(sm int, l arch.LineID) {
 		l1.Fill(l, cl, false)
 	}
 	s.drain.Inc()
-	s.xbar.Send(arch.LineSize+s.cfg.RequestHeader, func(sim.Time) {
-		if cl == mem.ClassLocal {
-			// Write-allocate into the write-back L2 (coalesced warp
-			// stores cover full lines, so no fetch-on-write).
-			s.insertL2(l, mem.ClassLocal, true)
-			s.drain.Dec()
+	st := s.reqs.alloc(l, home, cl, int32(sm), nilIdx)
+	s.xbar.SendArg(arch.LineSize+s.cfg.RequestHeader, s.storeEv, int(st))
+}
+
+// storeArrive retires a store at the L2 complex.
+func (s *Socket) storeArrive(_ sim.Time, st int) {
+	r := s.reqs.reqs[st] // copied: released before downstream calls
+	s.reqs.release(int32(st))
+	if r.cl == mem.ClassLocal {
+		// Write-allocate into the write-back L2 (coalesced warp
+		// stores cover full lines, so no fetch-on-write).
+		s.insertL2(r.line, mem.ClassLocal, true)
+		s.drain.Dec()
+		return
+	}
+	if s.cachesRemoteInL2() {
+		if s.cfg.L2WriteThrough {
+			// §5.2 sensitivity: line stays clean locally, data
+			// crosses the link immediately.
+			s.insertL2(r.line, mem.ClassRemote, false)
+			s.remote.RemoteWrite(s.id, r.home, r.line, s.drainDecFn)
 			return
 		}
-		if s.cachesRemoteInL2() {
-			if s.cfg.L2WriteThrough {
-				// §5.2 sensitivity: line stays clean locally, data
-				// crosses the link immediately.
-				s.insertL2(l, mem.ClassRemote, false)
-				s.remote.RemoteWrite(s.id, home, l, s.drainDecFn)
-				return
-			}
-			s.insertL2(l, mem.ClassRemote, true)
-			s.drain.Dec()
-			return
-		}
-		// Mode (a): remote writes cross the link immediately.
-		s.remote.RemoteWrite(s.id, home, l, s.drainDecFn)
-	})
+		s.insertL2(r.line, mem.ClassRemote, true)
+		s.drain.Dec()
+		return
+	}
+	// Mode (a): remote writes cross the link immediately.
+	s.remote.RemoteWrite(s.id, r.home, r.line, s.drainDecFn)
 }
 
 // ---------------------------------------------------------------------
@@ -405,20 +528,26 @@ func (s *Socket) HomeRead(l arch.LineID, done func()) {
 		s.eng.ScheduleThunk(sim.Time(s.cfg.L2Latency), done)
 		return
 	}
-	memSide := s.cfg.CacheMode == arch.CacheMemSideLocal || s.cfg.CacheMode == arch.CacheStaticPartition
-	s.dram.Read(arch.LineSize, func(sim.Time) {
-		if memSide {
-			s.insertL2(l, mem.ClassLocal, false)
-		}
-		done()
-	})
+	if !s.memSide {
+		s.dram.ReadFunc(arch.LineSize, done)
+		return
+	}
+	h := s.homes.alloc(l, done)
+	s.dram.ReadArg(arch.LineSize, s.homeReadEv, int(h))
+}
+
+// homeReadDone caches a fetched line in the memory-side L2 and responds.
+func (s *Socket) homeReadDone(_ sim.Time, idx int) {
+	h := s.homes.reqs[idx] // copied: released before the callback runs
+	s.homes.release(int32(idx))
+	s.insertL2(h.line, mem.ClassLocal, false)
+	h.done()
 }
 
 // HomeWrite applies a full-line write arriving from another socket;
 // done fires when it is safe to ack.
 func (s *Socket) HomeWrite(l arch.LineID, done func()) {
-	memSide := s.cfg.CacheMode == arch.CacheMemSideLocal || s.cfg.CacheMode == arch.CacheStaticPartition
-	if memSide {
+	if s.memSide {
 		s.insertL2(l, mem.ClassLocal, true)
 		s.eng.ScheduleThunk(sim.Time(s.cfg.L2Latency), done)
 		return
@@ -515,7 +644,10 @@ func (s *Socket) flushDirty(dirty []mem.Victim) {
 	}
 	s.FlushedLines.Advance(uint64(len(dirty)))
 	localLines := 0
-	perHome := make(map[arch.SocketID]int)
+	perHome := s.flushPerHome
+	for i := range perHome {
+		perHome[i] = 0
+	}
 	for _, v := range dirty {
 		if v.Class == mem.ClassLocal {
 			localLines++
@@ -532,10 +664,11 @@ func (s *Socket) flushDirty(dirty []mem.Victim) {
 		s.drain.Inc()
 		s.dram.WriteFunc(localLines*arch.LineSize, s.drainDecFn)
 	}
-	// Flush bursts must leave in socket order, not map order: ranging
-	// over perHome directly made the schedule — and through it the whole
-	// simulation — vary from process to process on ≥4-socket systems
-	// (caught by the golden-master tier as a 3-cycle flicker in fig11).
+	// Flush bursts must leave in socket order (which indexing perHome
+	// by socket gives for free): ranging over the map this slice
+	// replaced made the schedule — and through it the whole simulation
+	// — vary from process to process on ≥4-socket systems (caught by
+	// the golden-master tier as a 3-cycle flicker in fig11).
 	for home := arch.SocketID(0); int(home) < s.cfg.Sockets; home++ {
 		if n := perHome[home]; n > 0 {
 			s.drain.Inc()
@@ -577,10 +710,18 @@ func (s *Socket) Idle() bool {
 // DebugPending reports outstanding miss-merge entries: summed L1
 // pending lines, local L2 pending, remote pending. Diagnostic only.
 func (s *Socket) DebugPending() (l1, l2, rm int) {
-	for _, m := range s.l1Pending {
-		l1 += len(m)
+	for i := range s.l1Pending {
+		l1 += s.l1Pending[i].len()
 	}
-	return l1, len(s.l2Pending), len(s.rmPending)
+	return l1, s.l2Pending.len(), s.rmPending.len()
+}
+
+// DebugPoolsInUse reports live pooled datapath records: warp-load
+// transactions, line requests, waiter-chain nodes and home-side reads.
+// All four must be zero on a quiescent socket; anything else is a
+// leaked continuation (core.System.Run panics on it after every run).
+func (s *Socket) DebugPoolsInUse() (txs, reqs, waiters, homes int) {
+	return s.txs.used, s.reqs.used, s.chain.used, s.homes.used
 }
 
 // DebugCTAs reports queued-but-undispatched and resident CTA counts.

@@ -81,6 +81,7 @@ type harness struct {
 	remote *fakeRemote
 	drain  *Drain
 	sock   *Socket
+	loads  int // completed warp loads (onLoadDone hook)
 }
 
 func newHarness(t *testing.T, mode arch.CacheMode) *harness {
@@ -93,7 +94,28 @@ func newHarness(t *testing.T, mode arch.CacheMode) *harness {
 	drain := &Drain{}
 	link := xlink.NewLink(eng, cfg.LanesPerDir, cfg.LaneBandwidth, cfg.LinkLatency, cfg.LaneSwitchTime)
 	sock := NewSocket(eng, cfg, 0, memMap, remote, link, drain, func(arch.SocketID) {})
-	return &harness{eng: eng, cfg: cfg, memMap: memMap, remote: remote, drain: drain, sock: sock}
+	h := &harness{eng: eng, cfg: cfg, memMap: memMap, remote: remote, drain: drain, sock: sock}
+	sock.onLoadDone = func(sm, slot int) { h.loads++ }
+	return h
+}
+
+// load issues a 1-warp coalesced load from SM sm; completions are
+// counted in h.loads via the onLoadDone hook.
+func (h *harness) load(sm int, lines ...arch.LineID) {
+	h.sock.Load(sm, lines, 0)
+}
+
+// quiesced fails the test if any MSHR entry or pooled datapath record
+// is still live — the invariant core.System.Run enforces after every
+// experiment run.
+func (h *harness) quiesced(t *testing.T) {
+	t.Helper()
+	if l1, l2, rm := h.sock.DebugPending(); l1+l2+rm != 0 {
+		t.Fatalf("pending MSHR entries leaked: l1=%d l2=%d rm=%d", l1, l2, rm)
+	}
+	if txs, reqs, waiters, homes := h.sock.DebugPoolsInUse(); txs != 0 || reqs != 0 || waiters != 0 || homes != 0 {
+		t.Fatalf("pooled records leaked: txs=%d reqs=%d waiters=%d homes=%d", txs, reqs, waiters, homes)
+	}
 }
 
 // localLine returns a line homed on socket 0 (first touch by socket 0).
@@ -113,118 +135,195 @@ func (h *harness) remoteLine(i int) arch.LineID {
 func TestLocalLoadMissAndHit(t *testing.T) {
 	h := newHarness(t, arch.CacheMemSideLocal)
 	l := h.localLine(1)
-	done := 0
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.load(0, l)
 	h.eng.Run()
-	if done != 1 {
+	if h.loads != 1 {
 		t.Fatal("load must complete")
 	}
 	if h.sock.DRAM().Reads.Value() != 1 {
 		t.Fatal("cold miss must reach DRAM")
 	}
 	// Second load: L1 hit, no new DRAM traffic.
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.load(0, l)
 	h.eng.Run()
-	if done != 2 || h.sock.DRAM().Reads.Value() != 1 {
-		t.Fatalf("L1 hit path broken: done=%d dramReads=%d", done, h.sock.DRAM().Reads.Value())
+	if h.loads != 2 || h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatalf("L1 hit path broken: done=%d dramReads=%d", h.loads, h.sock.DRAM().Reads.Value())
 	}
 	if h.sock.LoadsLocal.Value() != 2 || h.sock.LoadsRemote.Value() != 0 {
 		t.Fatal("locality counters wrong")
 	}
+	h.quiesced(t)
+}
+
+func TestEmptyLoadCompletes(t *testing.T) {
+	h := newHarness(t, arch.CacheMemSideLocal)
+	h.load(0)
+	h.eng.Run()
+	if h.loads != 1 {
+		t.Fatal("empty coalesced load must still complete")
+	}
+	h.quiesced(t)
 }
 
 func TestL1MissMergesAcrossWarps(t *testing.T) {
 	h := newHarness(t, arch.CacheMemSideLocal)
 	l := h.localLine(2)
-	done := 0
 	// Two concurrent loads to the same line from the same SM: one DRAM
 	// fetch, two completions.
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.load(0, l)
+	h.load(0, l)
 	h.eng.Run()
-	if done != 2 {
-		t.Fatalf("completions %d, want 2", done)
+	if h.loads != 2 {
+		t.Fatalf("completions %d, want 2", h.loads)
 	}
 	if h.sock.DRAM().Reads.Value() != 1 {
 		t.Fatalf("DRAM reads %d, want 1 (MSHR merge)", h.sock.DRAM().Reads.Value())
 	}
+	h.quiesced(t)
+}
+
+func TestLoadDuplicateLinesMergeWithinOneLoad(t *testing.T) {
+	// A coalesced load may contain the same line more than once (warp
+	// lanes hitting one line before coalescing dedups, or a degenerate
+	// pattern). Every duplicate must be serviced — the transaction's
+	// remaining-line count covers all of them — off a single fetch.
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(3)
+	h.sock.Load(0, []arch.LineID{l, l, l}, 0)
+	h.eng.Run()
+	if h.loads != 1 {
+		t.Fatalf("warp-load completions %d, want 1", h.loads)
+	}
+	if h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatalf("DRAM reads %d, want 1 (duplicates must merge)", h.sock.DRAM().Reads.Value())
+	}
+	h.quiesced(t)
 }
 
 func TestL2SharedAcrossSMs(t *testing.T) {
 	h := newHarness(t, arch.CacheMemSideLocal)
 	l := h.localLine(3)
-	done := 0
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.load(0, l)
 	h.eng.Run()
-	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.load(1, l)
 	h.eng.Run()
-	if done != 2 {
+	if h.loads != 2 {
 		t.Fatal("loads must complete")
 	}
 	if h.sock.DRAM().Reads.Value() != 1 {
 		t.Fatalf("second SM should hit in shared L2, DRAM reads %d", h.sock.DRAM().Reads.Value())
 	}
+	h.quiesced(t)
+}
+
+func TestL2PendingMergesAcrossSMs(t *testing.T) {
+	// Concurrent misses to the same local line from different SMs merge
+	// on l2Pending: one DRAM fetch services both SMs' L1 fills.
+	h := newHarness(t, arch.CacheMemSideLocal)
+	l := h.localLine(4)
+	h.load(0, l)
+	h.load(1, l)
+	h.eng.Run()
+	if h.loads != 2 {
+		t.Fatalf("completions %d, want 2", h.loads)
+	}
+	if h.sock.DRAM().Reads.Value() != 1 {
+		t.Fatalf("DRAM reads %d, want 1 (l2Pending merge)", h.sock.DRAM().Reads.Value())
+	}
+	// Both SMs must have been filled.
+	if !h.sock.L1(0).Peek(l) || !h.sock.L1(1).Peek(l) {
+		t.Fatal("merged waiter's L1 not filled")
+	}
+	h.quiesced(t)
 }
 
 func TestRemoteLoadModeA(t *testing.T) {
 	h := newHarness(t, arch.CacheMemSideLocal)
 	l := h.remoteLine(0)
-	done := 0
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.load(0, l)
 	h.eng.Run()
 	if h.remote.reads != 1 {
 		t.Fatalf("remote reads %d, want 1", h.remote.reads)
 	}
 	// Memory-side mode: remote line is NOT in the local L2. A second
 	// load from a different SM crosses the link again.
-	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.load(1, l)
 	h.eng.Run()
 	if h.remote.reads != 2 {
 		t.Fatalf("mode (a) must not cache remote in L2: remote reads %d, want 2", h.remote.reads)
 	}
 	// Same SM again: L1 holds it.
-	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.load(1, l)
 	h.eng.Run()
 	if h.remote.reads != 2 {
 		t.Fatal("L1 must cache remote data in every mode")
 	}
-	if done != 3 {
-		t.Fatalf("completions %d", done)
+	if h.loads != 3 {
+		t.Fatalf("completions %d", h.loads)
 	}
+	h.quiesced(t)
 }
 
 func TestRemoteLoadCachedModes(t *testing.T) {
 	for _, mode := range []arch.CacheMode{arch.CacheStaticPartition, arch.CacheSharedCoherent, arch.CacheNUMAAware} {
 		h := newHarness(t, mode)
 		l := h.remoteLine(1)
-		done := 0
-		h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+		h.load(0, l)
 		h.eng.Run()
 		// Different SM: the local L2 now holds the remote line.
-		h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+		h.load(1, l)
 		h.eng.Run()
 		if h.remote.reads != 1 {
 			t.Fatalf("%v: remote reads %d, want 1 (L2 caches remote)", mode, h.remote.reads)
 		}
-		if done != 2 {
-			t.Fatalf("%v: completions %d", mode, done)
+		if h.loads != 2 {
+			t.Fatalf("%v: completions %d", mode, h.loads)
 		}
+		h.quiesced(t)
 	}
 }
 
 func TestRemoteFetchMerge(t *testing.T) {
 	h := newHarness(t, arch.CacheNUMAAware)
 	l := h.remoteLine(2)
-	done := 0
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
-	h.sock.Load(1, []arch.LineID{l}, func() { done++ })
+	h.load(0, l)
+	h.load(1, l)
 	h.eng.Run()
 	if h.remote.reads != 1 {
 		t.Fatalf("concurrent remote misses must merge: %d reads", h.remote.reads)
 	}
-	if done != 2 {
-		t.Fatalf("completions %d", done)
+	if h.loads != 2 {
+		t.Fatalf("completions %d", h.loads)
 	}
+	// Both SMs' L1s must hold the line after the merged fill.
+	if !h.sock.L1(0).Peek(l) || !h.sock.L1(1).Peek(l) {
+		t.Fatal("rmPending merged waiter's L1 not filled")
+	}
+	h.quiesced(t)
+}
+
+func TestMergeStormQuiesces(t *testing.T) {
+	// A many-way merge across both MSHR levels, repeated over several
+	// lines while earlier fetches are still in flight, must drain to
+	// zero pending entries and zero live pooled records. This is the
+	// pooled-state leak detector for the refactored datapath.
+	h := newHarness(t, arch.CacheNUMAAware)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			local := h.localLine(10 + round*8 + i)
+			remote := h.remoteLine(10 + round*8 + i)
+			for sm := 0; sm < h.cfg.SMsPerSocket; sm++ {
+				h.load(sm, local, local, remote)
+				h.load(sm, remote)
+			}
+		}
+	}
+	h.eng.Run()
+	want := 3 * 8 * h.cfg.SMsPerSocket * 2
+	if h.loads != want {
+		t.Fatalf("completions %d, want %d", h.loads, want)
+	}
+	h.quiesced(t)
 }
 
 func TestLocalStoreWriteBack(t *testing.T) {
@@ -242,6 +341,7 @@ func TestLocalStoreWriteBack(t *testing.T) {
 	if h.sock.StoresLocal.Value() != 1 {
 		t.Fatal("store counter wrong")
 	}
+	h.quiesced(t)
 }
 
 func TestRemoteStoreModeA(t *testing.T) {
@@ -255,6 +355,7 @@ func TestRemoteStoreModeA(t *testing.T) {
 	if h.drain.Outstanding() != 0 {
 		t.Fatal("store must drain after ack")
 	}
+	h.quiesced(t)
 }
 
 func TestRemoteStoreBufferedWriteBack(t *testing.T) {
@@ -271,6 +372,7 @@ func TestRemoteStoreBufferedWriteBack(t *testing.T) {
 	if h.remote.bulk != 1 {
 		t.Fatalf("flush must write the dirty remote line back: bulk %d", h.remote.bulk)
 	}
+	h.quiesced(t)
 }
 
 func TestRemoteStoreWriteThrough(t *testing.T) {
@@ -304,10 +406,9 @@ func TestFlushSemanticsPerMode(t *testing.T) {
 	for _, tc := range cases {
 		h := newHarness(t, tc.mode)
 		l := h.localLine(6)
-		done := false
-		h.sock.Load(0, []arch.LineID{l}, func() { done = true })
+		h.load(0, l)
 		h.eng.Run()
-		if !done {
+		if h.loads != 1 {
 			t.Fatalf("%v: load incomplete", tc.mode)
 		}
 		h.sock.FlushCaches()
@@ -318,6 +419,7 @@ func TestFlushSemanticsPerMode(t *testing.T) {
 		if h.sock.L1(0).Peek(l) {
 			t.Errorf("%v: L1 must always be invalidated at kernel boundaries", tc.mode)
 		}
+		h.quiesced(t)
 	}
 }
 
@@ -329,12 +431,13 @@ func TestNoL2InvalidateMode(t *testing.T) {
 	memMap := vmm.New(cfg.Sockets, arch.PlaceFirstTouch)
 	drain := &Drain{}
 	sock := NewSocket(eng, cfg, 0, memMap, &fakeRemote{eng: eng}, nil, drain, func(arch.SocketID) {})
+	done := 0
+	sock.onLoadDone = func(sm, slot int) { done++ }
 	l := arch.LineID(0)
 	memMap.Owner(l, 0)
-	done := false
-	sock.Load(0, []arch.LineID{l}, func() { done = true })
+	sock.Load(0, []arch.LineID{l}, 0)
 	eng.Run()
-	if !done {
+	if done != 1 {
 		t.Fatal("load incomplete")
 	}
 	sock.FlushCaches()
@@ -349,8 +452,6 @@ func TestCTADispatchQueue(t *testing.T) {
 	doneSockets := 0
 	h.sock.onAllDone = func(arch.SocketID) { doneSockets++ }
 	// More CTAs than fit at once.
-	var ctas []int
-	_ = ctas
 	h.sock.EnqueueKernel(makeCTAs(40, 2, 3))
 	h.eng.Run()
 	if doneSockets != 1 {
@@ -418,6 +519,7 @@ func TestHomeReadServesAndCachesMemSide(t *testing.T) {
 	if done != 2 || h.sock.DRAM().Reads.Value() != 1 {
 		t.Fatal("memory-side L2 must cache remote-origin reads")
 	}
+	h.quiesced(t)
 }
 
 func TestHomeReadDoesNotPolluteCoherentL2(t *testing.T) {
@@ -430,7 +532,7 @@ func TestHomeReadDoesNotPolluteCoherentL2(t *testing.T) {
 		t.Fatal("GPU-side coherent L2 must not allocate for remote requesters")
 	}
 	// But it must serve hits when the line is already resident.
-	h.sock.Load(0, []arch.LineID{l}, func() { done++ })
+	h.load(0, l)
 	h.eng.Run()
 	reads := h.sock.DRAM().Reads.Value()
 	h.sock.HomeRead(l, func() { done++ })
@@ -438,9 +540,10 @@ func TestHomeReadDoesNotPolluteCoherentL2(t *testing.T) {
 	if h.sock.DRAM().Reads.Value() != reads {
 		t.Fatal("home read must hit a resident L2 line")
 	}
-	if done != 3 {
-		t.Fatalf("completions %d", done)
+	if done != 2 || h.loads != 1 {
+		t.Fatalf("completions %d/%d", done, h.loads)
 	}
+	h.quiesced(t)
 }
 
 func TestHomeWritePaths(t *testing.T) {
@@ -498,4 +601,5 @@ func TestDebugAccessors(t *testing.T) {
 	if h.sock.RemoteReqWindow() == nil || h.sock.RemoteRespWindow() == nil {
 		t.Fatal("meter accessors broken")
 	}
+	h.quiesced(t)
 }

@@ -34,6 +34,23 @@ func (d *DRAM) Read(size int, done sim.Event) {
 	d.srv.Transfer(size, done)
 }
 
+// ReadFunc is Read for a clock-ignoring completion callback, queued
+// without an adapter closure.
+func (d *DRAM) ReadFunc(size int, done func()) {
+	d.Reads.Inc()
+	d.Bytes.Add(uint64(size))
+	d.srv.TransferFunc(size, done)
+}
+
+// ReadArg is Read for a long-lived ArgEvent callback plus an integer
+// argument — the MSHR fill path passes a pooled miss-record index
+// through arg instead of allocating a completion closure per fetch.
+func (d *DRAM) ReadArg(size int, fn sim.ArgEvent, arg int) {
+	d.Reads.Inc()
+	d.Bytes.Add(uint64(size))
+	d.srv.TransferArg(size, fn, arg)
+}
+
 // Write stores size bytes; done (may be nil) fires when the write has
 // drained into the memory.
 func (d *DRAM) Write(size int, done sim.Event) {

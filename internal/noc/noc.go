@@ -36,6 +36,14 @@ func (x *Crossbar) SendFunc(size int, done func()) {
 	x.srv.TransferFunc(size, done)
 }
 
+// SendArg is Send for a long-lived ArgEvent callback plus an integer
+// argument — the datapath's pooled-continuation path (fn is a stage
+// bound once per socket, arg a transaction index).
+func (x *Crossbar) SendArg(size int, fn sim.ArgEvent, arg int) {
+	x.Bytes.Add(uint64(size))
+	x.srv.TransferArg(size, fn, arg)
+}
+
 // Utilization reports crossbar utilization over the window ending now.
 func (x *Crossbar) Utilization(now sim.Time) float64 {
 	return x.Bytes.Utilization(now, x.srv.Bandwidth())

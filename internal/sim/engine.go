@@ -163,6 +163,17 @@ func (e *Engine) AtThunk(at Time, fn func()) {
 	e.insert(at, scheduled{tfn: fn})
 }
 
+// AtArg runs fn(now, arg) at absolute time at (clamped to the present);
+// the At counterpart of ScheduleArg. Bandwidth servers use it to queue
+// pooled continuations at a transfer's completion time without wrapping
+// them in a closure.
+func (e *Engine) AtArg(at Time, fn ArgEvent, arg int) {
+	if at < e.now {
+		at = e.now
+	}
+	e.insert(at, scheduled{afn: fn, arg: arg})
+}
+
 // setNow advances the clock to t and restores the scheduling invariant:
 // far events whose time entered [t, t+ringSize) migrate into their ring
 // buckets. The heap pops in (time, seq) order and migration for a given

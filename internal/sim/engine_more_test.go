@@ -247,3 +247,24 @@ func TestTickerMinimumPeriod(t *testing.T) {
 		t.Fatalf("period-0 ticker (clamped to 1) fired %d times by t=5, want 5", n)
 	}
 }
+
+// TestAtArg pins the pooled absolute-time variant: argument delivery,
+// FIFO order against other same-cycle events, and past clamping.
+func TestAtArg(t *testing.T) {
+	e := New()
+	var got []int
+	rec := func(_ Time, arg int) { got = append(got, arg) }
+	e.AtArg(10, rec, 1)
+	e.At(10, func(Time) { got = append(got, 2) })
+	e.AtArg(10, rec, 3)
+	e.Schedule(20, func(Time) {
+		e.AtArg(5, rec, 4) // past: clamps to now=20, runs this cycle
+	})
+	e.Run()
+	if len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("AtArg order/args %v, want [1 2 3 4]", got)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("final clock %d, want 20", e.Now())
+	}
+}

@@ -17,6 +17,7 @@ type schedulerAPI interface {
 	ScheduleArg(Time, ArgEvent, int)
 	At(Time, Event)
 	AtThunk(Time, func())
+	AtArg(Time, ArgEvent, int)
 	Step() bool
 	Run() Time
 	RunUntil(Time) bool
@@ -73,7 +74,7 @@ func (in *opInterp) exec() bool {
 		in.trace = append(in.trace, traceEntry{id: id, at: now})
 		in.exec() // nested: each event performs the next program op
 	}
-	switch op % 8 {
+	switch op % 9 {
 	case 0: // small constant delay — the bucket hot path
 		in.eng.Schedule(Time(val%64), record)
 	case 1: // zero delay — same-cycle FIFO
@@ -92,7 +93,12 @@ func (in *opInterp) exec() bool {
 			in.trace = append(in.trace, traceEntry{id: arg, at: now})
 			in.exec()
 		}, id)
-	case 7: // cancellable event: fires, but a flag decides if it acts
+	case 7: // absolute-time arg variant, sometimes clamped to the past
+		in.eng.AtArg(Time(val)*7, func(now Time, arg int) {
+			in.trace = append(in.trace, traceEntry{id: arg, at: now})
+			in.exec()
+		}, id)
+	case 8: // cancellable event: fires, but a flag decides if it acts
 		f := int(val) % len(in.flags)
 		if val%2 == 0 {
 			in.flags[f] = !in.flags[f] // toggle now…

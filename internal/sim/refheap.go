@@ -71,6 +71,14 @@ func (e *ReferenceEngine) AtThunk(at Time, fn func()) {
 	e.insert(at, scheduled{tfn: fn})
 }
 
+// AtArg runs fn(now, arg) at absolute time at, clamped to the present.
+func (e *ReferenceEngine) AtArg(at Time, fn ArgEvent, arg int) {
+	if at < e.now {
+		at = e.now
+	}
+	e.insert(at, scheduled{afn: fn, arg: arg})
+}
+
 // Step executes the single next event and reports whether one existed.
 func (e *ReferenceEngine) Step() bool {
 	if len(e.events) == 0 {

@@ -64,6 +64,16 @@ func (s *Server) TransferFunc(size int, done func()) Time {
 	return complete
 }
 
+// TransferArg is Transfer for a long-lived ArgEvent callback plus an
+// integer argument: the completion path for pooled continuations (the
+// memory datapath passes a transaction index through fn's arg instead
+// of allocating a closure per message).
+func (s *Server) TransferArg(size int, fn ArgEvent, arg int) Time {
+	complete := s.occupy(size)
+	s.eng.AtArg(complete, fn, arg)
+	return complete
+}
+
 // occupy books size bytes of serialization time and returns the cycle
 // at which the transfer completes.
 func (s *Server) occupy(size int) Time {

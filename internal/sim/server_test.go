@@ -156,3 +156,32 @@ func TestPropertyCompletionMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTransferArgMatchesTransfer pins that the pooled-continuation
+// transfer completes at exactly the time the closure-based variants do,
+// with the argument delivered intact.
+func TestTransferArgMatchesTransfer(t *testing.T) {
+	run := func(issue func(s *Server, e *Engine, at *Time)) Time {
+		e := New()
+		s := NewServer(e, 2, 7)
+		var at Time
+		s.Transfer(64, nil) // backlog so serialization queueing is in play
+		issue(s, e, &at)
+		e.Run()
+		return at
+	}
+	want := run(func(s *Server, e *Engine, at *Time) {
+		s.Transfer(32, func(now Time) { *at = now })
+	})
+	got := run(func(s *Server, e *Engine, at *Time) {
+		s.TransferArg(32, func(now Time, arg int) {
+			if arg != 99 {
+				t.Fatalf("arg %d, want 99", arg)
+			}
+			*at = now
+		}, 99)
+	})
+	if got != want || got == 0 {
+		t.Fatalf("TransferArg completed at %d, Transfer at %d", got, want)
+	}
+}

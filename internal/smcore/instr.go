@@ -44,10 +44,13 @@ type CTA struct {
 }
 
 // MemPort is the SM's window into the socket memory system (implemented
-// by the gpu package). Loads call done once every line has been
-// serviced; stores are fire-and-forget from the warp's perspective but
-// are drained/tracked by the socket for kernel-completion semantics.
+// by the gpu package). A load is identified by the issuing warp's slot;
+// the port calls SM.LoadDone(slot) on the issuing SM once every line
+// has been serviced, so no per-load completion closure exists anywhere
+// on the path. Stores are fire-and-forget from the warp's perspective
+// but are drained/tracked by the socket for kernel-completion
+// semantics.
 type MemPort interface {
-	Load(sm int, lines []arch.LineID, done func())
+	Load(sm int, lines []arch.LineID, slot int)
 	Store(sm int, lines []arch.LineID)
 }

@@ -227,20 +227,7 @@ func (s *SM) execute(now sim.Time, slot int) {
 	case OpLoad:
 		s.LoadOps.Inc()
 		w.state = warpWaitMem
-		comp := in.Comp
-		s.port.Load(s.id, in.Lines, func() {
-			// Memory returned; any attached compute overlaps the
-			// outstanding load on an in-order core, so the warp is
-			// ready max(0, comp-latency)≈0 cycles later. We charge the
-			// compute before re-readying to keep issue rates honest
-			// for compute-heavy instructions.
-			if comp > 1 {
-				w.state = warpWaitComp
-				s.eng.ScheduleArg(sim.Time(comp), s.wakeEv, slot)
-				return
-			}
-			s.wake(slot)
-		})
+		s.port.Load(s.id, in.Lines, slot)
 	case OpStore:
 		s.StoreOps.Inc()
 		s.port.Store(s.id, in.Lines)
@@ -248,6 +235,24 @@ func (s *SM) execute(now sim.Time, slot int) {
 	default:
 		s.delayReady(slot, in.Comp)
 	}
+}
+
+// LoadDone is the memory system's completion callback for the warp in
+// slot: every line of its outstanding load has been serviced. Any
+// attached compute overlaps the outstanding load on an in-order core,
+// so the warp is ready max(0, comp-latency)≈0 cycles later; the compute
+// is charged before re-readying to keep issue rates honest for
+// compute-heavy instructions. The issuing instruction stays resident in
+// the slot while the warp waits (a blocked warp cannot issue), so its
+// Comp field is read back here instead of travelling with the request.
+func (s *SM) LoadDone(slot int) {
+	w := &s.warps[slot]
+	if comp := w.instr.Comp; comp > 1 {
+		w.state = warpWaitComp
+		s.eng.ScheduleArg(sim.Time(comp), s.wakeEv, slot)
+		return
+	}
+	s.wake(slot)
 }
 
 // delayReady parks the warp for comp cycles of compute (minimum one

@@ -22,24 +22,34 @@ func (s *scriptStream) Next(in *Instr) bool {
 	return true
 }
 
-// fakePort services loads after a fixed latency and records ops.
+// fakePort services loads after a fixed latency and records ops. Its SM
+// back-reference is bound by newTestSM (the port must call LoadDone on
+// the issuing SM, mirroring how gpu.Socket dispatches completions).
 type fakePort struct {
 	eng     *sim.Engine
+	sm      *SM
 	latency sim.Time
 	loads   int
 	stores  int
 	lines   int
 }
 
-func (p *fakePort) Load(sm int, lines []arch.LineID, done func()) {
+func (p *fakePort) Load(sm int, lines []arch.LineID, slot int) {
 	p.loads++
 	p.lines += len(lines)
-	p.eng.Schedule(p.latency, func(sim.Time) { done() })
+	p.eng.Schedule(p.latency, func(sim.Time) { p.sm.LoadDone(slot) })
 }
 
 func (p *fakePort) Store(sm int, lines []arch.LineID) {
 	p.stores++
 	p.lines += len(lines)
+}
+
+// newTestSM builds an SM wired to port both ways.
+func newTestSM(eng *sim.Engine, port *fakePort, id, maxWarps, maxCTAs, issueWidth int, onCTADone func(smID, ctaID int)) *SM {
+	sm := NewSM(eng, port, id, maxWarps, maxCTAs, issueWidth, onCTADone)
+	port.sm = sm
+	return sm
 }
 
 func computeCTA(id, warps, instrs, lat int) CTA {
@@ -58,7 +68,7 @@ func TestSMRunsComputeCTA(t *testing.T) {
 	eng := sim.New()
 	port := &fakePort{eng: eng, latency: 10}
 	var doneCTAs []int
-	sm := NewSM(eng, port, 0, 8, 4, 1, func(_, cta int) { doneCTAs = append(doneCTAs, cta) })
+	sm := newTestSM(eng, port, 0, 8, 4, 1, func(_, cta int) { doneCTAs = append(doneCTAs, cta) })
 	sm.Launch(computeCTA(7, 2, 5, 3))
 	eng.Run()
 	if !sm.Idle() {
@@ -75,7 +85,7 @@ func TestSMRunsComputeCTA(t *testing.T) {
 func TestSMLoadBlocksWarp(t *testing.T) {
 	eng := sim.New()
 	port := &fakePort{eng: eng, latency: 100}
-	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	sm := newTestSM(eng, port, 0, 8, 4, 1, nil)
 	cta := CTA{ID: 0, Warps: []InstrStream{&scriptStream{instrs: []Instr{
 		{Op: OpLoad, Lines: []arch.LineID{1, 2}},
 		{Op: OpNone, Comp: 1},
@@ -93,7 +103,7 @@ func TestSMLoadBlocksWarp(t *testing.T) {
 func TestSMStoreDoesNotBlock(t *testing.T) {
 	eng := sim.New()
 	port := &fakePort{eng: eng, latency: 10000}
-	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	sm := newTestSM(eng, port, 0, 8, 4, 1, nil)
 	cta := CTA{ID: 0, Warps: []InstrStream{&scriptStream{instrs: []Instr{
 		{Op: OpStore, Lines: []arch.LineID{1}},
 		{Op: OpStore, Lines: []arch.LineID{2}},
@@ -112,7 +122,7 @@ func TestSMStoreDoesNotBlock(t *testing.T) {
 func TestSMComputeDelay(t *testing.T) {
 	eng := sim.New()
 	port := &fakePort{eng: eng}
-	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	sm := newTestSM(eng, port, 0, 8, 4, 1, nil)
 	sm.Launch(computeCTA(0, 1, 4, 50))
 	eng.Run()
 	// 4 instructions × 50 cycles of compute each ≈ 200 cycles.
@@ -126,7 +136,7 @@ func TestSMMultiWarpOverlap(t *testing.T) {
 	// latency, not two.
 	eng := sim.New()
 	port := &fakePort{eng: eng, latency: 500}
-	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	sm := newTestSM(eng, port, 0, 8, 4, 1, nil)
 	mk := func() InstrStream {
 		return &scriptStream{instrs: []Instr{{Op: OpLoad, Lines: []arch.LineID{1}}}}
 	}
@@ -142,7 +152,7 @@ func TestSMIssueRate(t *testing.T) {
 	// issue width 1.
 	eng := sim.New()
 	port := &fakePort{eng: eng}
-	sm := NewSM(eng, port, 0, 8, 4, 1, nil)
+	sm := newTestSM(eng, port, 0, 8, 4, 1, nil)
 	sm.Launch(computeCTA(0, 1, 100, 0))
 	eng.Run()
 	if eng.Now() < 99 || eng.Now() > 110 {
@@ -153,7 +163,7 @@ func TestSMIssueRate(t *testing.T) {
 func TestCanAcceptBounds(t *testing.T) {
 	eng := sim.New()
 	port := &fakePort{eng: eng}
-	sm := NewSM(eng, port, 0, 8, 2, 1, nil) // 8 warps, 2 CTA slots
+	sm := newTestSM(eng, port, 0, 8, 2, 1, nil) // 8 warps, 2 CTA slots
 	if !sm.CanAccept(4) {
 		t.Fatal("empty SM must accept")
 	}
@@ -190,7 +200,7 @@ func TestSlotReuseAfterRetire(t *testing.T) {
 	port := &fakePort{eng: eng, latency: 7}
 	done := 0
 	var sm *SM
-	sm = NewSM(eng, port, 0, 2, 2, 1, func(_, _ int) {
+	sm = newTestSM(eng, port, 0, 2, 2, 1, func(_, _ int) {
 		done++
 		if done < 50 {
 			// Immediately relaunch into the freed slot.
@@ -219,7 +229,7 @@ func TestGreedyThenRoundRobin(t *testing.T) {
 	// confirms the greedy warp ran consecutively.
 	eng := sim.New()
 	port := &fakePort{eng: eng, latency: 1000}
-	sm := NewSM(eng, port, 0, 4, 4, 1, nil)
+	sm := newTestSM(eng, port, 0, 4, 4, 1, nil)
 	blocker := &scriptStream{instrs: []Instr{{Op: OpLoad, Lines: []arch.LineID{9}}}}
 	greedy := &scriptStream{instrs: []Instr{
 		{Op: OpStore, Lines: []arch.LineID{1}},
@@ -237,7 +247,7 @@ func TestGreedyThenRoundRobin(t *testing.T) {
 func TestDebugStates(t *testing.T) {
 	eng := sim.New()
 	port := &fakePort{eng: eng, latency: 100}
-	sm := NewSM(eng, port, 0, 4, 4, 1, nil)
+	sm := newTestSM(eng, port, 0, 4, 4, 1, nil)
 	sm.Launch(CTA{ID: 0, Warps: []InstrStream{&scriptStream{instrs: []Instr{
 		{Op: OpLoad, Lines: []arch.LineID{1}},
 	}}}})

@@ -15,7 +15,7 @@ import (
 type Memory struct {
 	sockets int
 	policy  arch.MemPlacement
-	pages   map[arch.PageID]arch.SocketID
+	pages   pageTable
 
 	// Migrations counts first-touch placements (page migrations from
 	// system memory into a GPU's local memory).
@@ -27,7 +27,7 @@ type Memory struct {
 func New(sockets int, policy arch.MemPlacement) *Memory {
 	m := &Memory{sockets: sockets, policy: policy}
 	if policy == arch.PlaceFirstTouch {
-		m.pages = make(map[arch.PageID]arch.SocketID, 1<<12)
+		m.pages.init(1 << 12)
 	}
 	return m
 }
@@ -40,7 +40,9 @@ func (m *Memory) Policy() arch.MemPlacement { return m.policy }
 
 // Owner resolves the home socket of the line l for a request issued by
 // requester. Under first touch, an unmapped page is placed on the
-// requester's socket (on-demand migration from system memory).
+// requester's socket (on-demand migration from system memory). This is
+// the datapath's per-access lookup, so the first-touch table is
+// open-addressed rather than a Go map (see pageTable).
 func (m *Memory) Owner(l arch.LineID, requester arch.SocketID) arch.SocketID {
 	if m.sockets == 1 {
 		return 0
@@ -53,10 +55,10 @@ func (m *Memory) Owner(l arch.LineID, requester arch.SocketID) arch.SocketID {
 		return arch.SocketID(uint64(arch.PageOfLine(l)) % uint64(m.sockets))
 	default: // PlaceFirstTouch
 		p := arch.PageOfLine(l)
-		if s, ok := m.pages[p]; ok {
+		if s, ok := m.pages.get(p); ok {
 			return s
 		}
-		m.pages[p] = requester
+		m.pages.put(p, requester)
 		m.Migrations.Inc()
 		return requester
 	}
@@ -75,8 +77,7 @@ func (m *Memory) Peek(l arch.LineID) (arch.SocketID, bool) {
 	case arch.PlacePageInterleave:
 		return arch.SocketID(uint64(arch.PageOfLine(l)) % uint64(m.sockets)), true
 	default:
-		s, ok := m.pages[arch.PageOfLine(l)]
-		return s, ok
+		return m.pages.get(arch.PageOfLine(l))
 	}
 }
 
@@ -91,7 +92,7 @@ func (m *Memory) Preplace(start arch.Addr, size int64, s arch.SocketID) {
 	first := arch.PageOf(start)
 	last := arch.PageOf(start + arch.Addr(size-1))
 	for p := first; p <= last; p++ {
-		m.pages[p] = s
+		m.pages.put(p, s)
 	}
 }
 
@@ -105,27 +106,135 @@ func (m *Memory) PreplaceInterleave(start arch.Addr, size int64) {
 	first := arch.PageOf(start)
 	last := arch.PageOf(start + arch.Addr(size-1))
 	for p := first; p <= last; p++ {
-		m.pages[p] = arch.SocketID(uint64(p-first) % uint64(m.sockets))
+		m.pages.put(p, arch.SocketID(uint64(p-first)%uint64(m.sockets)))
 	}
 }
 
 // MappedPages reports how many pages have a first-touch mapping.
-func (m *Memory) MappedPages() int { return len(m.pages) }
+func (m *Memory) MappedPages() int { return m.pages.n }
 
 // DistributionOf reports, per socket, the fraction of mapped pages it
 // owns (first touch only; interleave policies are uniform by
 // construction). Useful for asserting locality in tests.
 func (m *Memory) DistributionOf() []float64 {
 	out := make([]float64, m.sockets)
-	if len(m.pages) == 0 {
+	if m.pages.n == 0 {
 		return out
 	}
-	for _, s := range m.pages {
-		out[s]++
+	for i := range m.pages.entries {
+		if m.pages.entries[i].used {
+			out[m.pages.entries[i].val]++
+		}
 	}
-	n := float64(len(m.pages))
+	n := float64(m.pages.n)
 	for i := range out {
 		out[i] /= n
 	}
 	return out
+}
+
+// pageEntry is one first-touch mapping.
+type pageEntry struct {
+	key  arch.PageID
+	val  arch.SocketID
+	used bool
+}
+
+// pageTable is the first-touch page table: open addressing with linear
+// probing, Fibonacci hashing on the top bits, doubling at 3/4 load.
+// Pages are never unmapped, so there is no deletion. Compared to the Go
+// map it replaces, a warm lookup is one multiply plus a short probe run
+// with no hash-function call, and insertion never allocates outside the
+// amortized doubling. Nothing order-dependent ever iterates it
+// (DistributionOf sums per-socket counts), so probe layout cannot leak
+// into simulation behaviour.
+//
+// The probe/grow core intentionally mirrors gpu's mshrTable (which
+// additionally supports deletion and waiter chains); a fix to either
+// table's probing or resize logic almost certainly applies to both.
+type pageTable struct {
+	entries []pageEntry
+	shift   uint // 64 - log2(len(entries))
+	n       int
+}
+
+// pageFibMul is the 64-bit Fibonacci-hashing multiplier (same constant
+// as gpu's fibMul; the packages are peers, so it is re-declared).
+const pageFibMul = 0x9E3779B97F4A7C15
+
+func (t *pageTable) init(capacity int) {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	t.entries = make([]pageEntry, c)
+	t.shift = uint(64 - pageLog2(c))
+	t.n = 0
+}
+
+func pageLog2(pow2 int) int {
+	b := 0
+	for pow2 > 1 {
+		pow2 >>= 1
+		b++
+	}
+	return b
+}
+
+func (t *pageTable) slotOf(key arch.PageID) int {
+	return int((uint64(key) * pageFibMul) >> t.shift)
+}
+
+// get reports the mapped socket of key, if present.
+func (t *pageTable) get(key arch.PageID) (arch.SocketID, bool) {
+	if len(t.entries) == 0 {
+		return 0, false
+	}
+	mask := len(t.entries) - 1
+	for i := t.slotOf(key); ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.used {
+			return 0, false
+		}
+		if e.key == key {
+			return e.val, true
+		}
+	}
+}
+
+// put maps key to val, overwriting any existing mapping.
+func (t *pageTable) put(key arch.PageID, val arch.SocketID) {
+	if len(t.entries) == 0 {
+		t.init(8)
+	} else if 4*(t.n+1) > 3*len(t.entries) {
+		t.grow()
+	}
+	mask := len(t.entries) - 1
+	i := t.slotOf(key)
+	for t.entries[i].used {
+		if t.entries[i].key == key {
+			t.entries[i].val = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.entries[i] = pageEntry{key: key, val: val, used: true}
+	t.n++
+}
+
+func (t *pageTable) grow() {
+	old := t.entries
+	t.entries = make([]pageEntry, 2*len(old))
+	t.shift--
+	mask := len(t.entries) - 1
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := t.slotOf(old[i].key)
+		for t.entries[j].used {
+			j = (j + 1) & mask
+		}
+		t.entries[j] = old[i]
+	}
 }

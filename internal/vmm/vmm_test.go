@@ -139,6 +139,67 @@ func TestDistribution(t *testing.T) {
 	}
 }
 
+// TestPageTableGrowthAndOverwrite drives the open-addressed first-touch
+// table far past its initial capacity and through colliding, sequential
+// and re-put keys, comparing against a map reference — the properties
+// the datapath relies on after the Go-map replacement.
+func TestPageTableGrowthAndOverwrite(t *testing.T) {
+	var pt pageTable
+	pt.init(8)
+	ref := map[arch.PageID]arch.SocketID{}
+	put := func(p arch.PageID, s arch.SocketID) {
+		pt.put(p, s)
+		ref[p] = s
+	}
+	// Sequential pages (the common streaming pattern), sparse strides,
+	// and overwrites.
+	for i := 0; i < 10000; i++ {
+		put(arch.PageID(i), arch.SocketID(i%4))
+	}
+	for i := 0; i < 3000; i++ {
+		put(arch.PageID(i*977), arch.SocketID((i+1)%4))
+	}
+	for i := 0; i < 500; i++ {
+		put(arch.PageID(i), arch.SocketID(3))
+	}
+	if pt.n != len(ref) {
+		t.Fatalf("table n=%d, ref %d", pt.n, len(ref))
+	}
+	for p, want := range ref {
+		got, ok := pt.get(p)
+		if !ok || got != want {
+			t.Fatalf("page %d → (%d,%v), want (%d,true)", p, got, ok, want)
+		}
+	}
+	if _, ok := pt.get(arch.PageID(1 << 40)); ok {
+		t.Fatal("absent key found")
+	}
+	// Zero value works too (Preplace before any Owner call path).
+	var zero pageTable
+	if _, ok := zero.get(0); ok {
+		t.Fatal("zero-value table must be empty")
+	}
+	zero.put(7, 2)
+	if s, ok := zero.get(7); !ok || s != 2 {
+		t.Fatal("zero-value table put/get broken")
+	}
+}
+
+// TestPageTablePageZero pins that PageID 0 is a valid key (address 0 is
+// in the modelled address space; a sentinel-based table would lose it).
+func TestPageTablePageZero(t *testing.T) {
+	m := New(4, arch.PlaceFirstTouch)
+	if got := m.Owner(0, 3); got != 3 {
+		t.Fatalf("line 0 first touch → %d, want 3", got)
+	}
+	if s, ok := m.Peek(0); !ok || s != 3 {
+		t.Fatal("peek of page 0 lost")
+	}
+	if m.MappedPages() != 1 {
+		t.Fatalf("mapped pages %d, want 1", m.MappedPages())
+	}
+}
+
 // TestPropertyFirstTouchStable: once placed, ownership never changes no
 // matter who asks afterwards.
 func TestPropertyFirstTouchStable(t *testing.T) {
