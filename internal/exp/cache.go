@@ -57,7 +57,10 @@ func (r *Runner) Stats() Stats {
 // that the key inputs cannot see (event ordering, policy logic,
 // workload generation), so stale results from an older binary are
 // misses rather than silently served as current.
-const cacheSchema = 1
+// Schema 2: Socket.remoteRead charges the L2 access latency on merged
+// MSHR waiters symmetrically with the primary requester (timing fix;
+// cycle counts shift slightly in the cached-remote modes).
+const cacheSchema = 2
 
 // RunKey returns the content address of one (config, workload) run
 // under this Runner's options: a schema version, every field of the

@@ -407,10 +407,12 @@ func (s *Socket) remoteRead(req int32) {
 }
 
 // remoteFillResp handles a remote data response in the cached-remote modes:
-// fill the L2, respond to the primary and to every merged request.
-// Merged waiters skip the L2 latency charge the primary pays — a timing
-// asymmetry kept from the original datapath (localL2Read charges it on
-// both); see the golden-master history for the fix.
+// fill the L2, respond to the primary and to every merged request. Every
+// responder — primary and merged waiters alike — pays the L2 access
+// latency before the line crosses the NoC, exactly as on the local DRAM
+// path (dramResp): the data is served out of the just-filled L2 either
+// way. (Merged waiters used to skip the charge, a timing asymmetry
+// inherited from the closure-based datapath.)
 func (s *Socket) remoteFillResp(req int) {
 	r := &s.reqs.reqs[req]
 	s.countRemoteResponse()
@@ -420,7 +422,7 @@ func (s *Socket) remoteFillResp(req int) {
 	for n := head; n != nilIdx; {
 		node := s.chain.nodes[n]
 		s.chain.release(n)
-		s.xbar.SendArg(arch.LineSize, s.l1FillEv, int(node.val))
+		s.eng.ScheduleArg(sim.Time(s.cfg.L2Latency), s.l2RespEv, int(node.val))
 		n = node.next
 	}
 }
