@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# scripts/bench.sh — measure the simulation event core and emit
-# BENCH_sim.json: engine microbenchmarks (ns/event, allocs/event,
+# scripts/bench.sh — measure the simulation core and the model datapath,
+# emitting BENCH_sim.json: engine microbenchmarks (ns/event, allocs/event,
 # events/sec) for the bucketed scheduler and the reference heap it
-# replaced, plus the wall-clock time of regenerating every experiment
-# at -quick scale. See docs/PERF.md for how to read the output.
+# replaced, model-level datapath benchmarks (ns and allocs per access
+# pattern, internal/gpu), the wall-clock time of regenerating every
+# experiment at -quick scale, and an append-only `history` array that
+# preserves the headline numbers across runs/PRs. See docs/PERF.md for
+# how to read the output.
 #
 #   scripts/bench.sh            # full run: 1s benchtime + the -quick suite
 #   scripts/bench.sh --fast     # CI smoke: 100ms benchtime, no -quick suite
@@ -24,8 +27,10 @@ for arg in "$@"; do
 done
 
 out=BENCH_sim.json
-benchout=$(go test -run '^$' -bench Engine -benchmem -benchtime "$BENCHTIME" ./internal/sim)
-printf '%s\n' "$benchout"
+engbench=$(go test -run '^$' -bench Engine -benchmem -benchtime "$BENCHTIME" ./internal/sim)
+printf '%s\n' "$engbench"
+modelbench=$(go test -run '^$' -bench Model -benchmem -benchtime "$BENCHTIME" ./internal/gpu)
+printf '%s\n' "$modelbench"
 
 quick_wall=null
 if [ "$RUN_QUICK" = 1 ]; then
@@ -39,7 +44,7 @@ if [ "$RUN_QUICK" = 1 ]; then
   quick_wall=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
 fi
 
-printf '%s\n' "$benchout" | awk \
+current=$(printf '%s\n%s\n' "$engbench" "$modelbench" | awk \
   -v quick_wall="$quick_wall" \
   -v benchtime="$BENCHTIME" \
   -v goversion="$(go env GOVERSION)" \
@@ -56,6 +61,9 @@ function entry(name,    s) {
   if (ns[name] + 0 > 0)
     s = s sprintf(", \"events_per_sec\": %.0f", 1e9 / ns[name])
   return s "}"
+}
+function mentry(name) {
+  return sprintf("{\"ns_per_op\": %s, \"allocs_per_op\": %s}", ns[name], al[name])
 }
 END {
   printf "{\n"
@@ -77,9 +85,48 @@ END {
   printf "  },\n"
   printf "  \"speedup_steady_state\": %.2f,\n", ns["BenchmarkReferenceEngineSteadyState"] / ns["BenchmarkEngineSteadyState"]
   printf "  \"speedup_mixed_delays\": %.2f,\n", ns["BenchmarkReferenceEngineMixedDelays"] / ns["BenchmarkEngineMixedDelays"]
+  printf "  \"model\": {\n"
+  printf "    \"l1_hit\": %s,\n",         mentry("BenchmarkModelL1Hit")
+  printf "    \"l2_hit\": %s,\n",         mentry("BenchmarkModelL2Hit")
+  printf "    \"l2_miss\": %s,\n",        mentry("BenchmarkModelL2Miss")
+  printf "    \"remote_read\": %s,\n",    mentry("BenchmarkModelRemoteRead")
+  printf "    \"store\": %s,\n",          mentry("BenchmarkModelStore")
+  printf "    \"mshr_merge\": %s,\n",     mentry("BenchmarkModelMSHRMerge")
+  printf "    \"socket_workload\": %s\n", mentry("BenchmarkModelSocketWorkload")
+  printf "  },\n"
   printf "  \"quick_all_wall_seconds\": %s\n", quick_wall
   printf "}\n"
-}' > "$out"
+}')
+
+# Merge with the previous snapshot: model_pre_refactor is preserved
+# verbatim (the measured "before" side of the datapath rewrite), and a
+# headline entry is appended to the history array so the perf trajectory
+# across PRs survives regeneration. Without jq (or with a corrupt
+# previous file) the merge degrades to a fresh snapshot.
+if command -v jq >/dev/null 2>&1; then
+  prev='{}'
+  if [ -f "$out" ] && jq -e . "$out" >/dev/null 2>&1; then
+    prev=$(cat "$out")
+  fi
+  printf '%s' "$current" | jq --argjson prev "$prev" '
+    . as $cur
+    | $cur
+    + (if $prev.model_pre_refactor then {model_pre_refactor: $prev.model_pre_refactor} else {} end)
+    + {history: (($prev.history // []) + [{
+        date: $cur.date,
+        benchtime: $cur.benchtime,
+        quick_all_wall_seconds: $cur.quick_all_wall_seconds,
+        engine_steady_ns_per_event: $cur.engine.steady_state.ns_per_event,
+        model_l1_hit_ns: $cur.model.l1_hit.ns_per_op,
+        model_l2_miss_ns: $cur.model.l2_miss.ns_per_op,
+        model_mshr_merge_ns: $cur.model.mshr_merge.ns_per_op,
+        model_socket_workload_ns: $cur.model.socket_workload.ns_per_op
+      }])}' > "$out.tmp"
+  mv "$out.tmp" "$out"
+else
+  echo "jq not found: writing snapshot without history preservation" >&2
+  printf '%s\n' "$current" > "$out"
+fi
 
 echo "wrote $out" >&2
 cat "$out"
