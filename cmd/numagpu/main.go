@@ -15,8 +15,16 @@
 //	-divisor n     architecture scale divisor vs the paper machine (default 8)
 //	-quick         shorthand for -iterscale 0.25
 //	-j n           simulations to run in parallel (default GOMAXPROCS)
+//	-remote url    execute the simulations on a numagpud sweep-fabric
+//	               coordinator instead of in-process; tables are still
+//	               rendered locally, byte-identical to a local run.
+//	               Raise -j to the cluster's total worker window to
+//	               keep a multi-worker fabric busy
 //	-csv dir       also write each experiment's table as CSV into dir
 //	-json          print each experiment as a JSON object instead of text
+//	-golden        print each experiment in the golden-master fixture
+//	               format (internal/exp/testdata/golden), for byte
+//	               comparison against the committed fixtures
 //	-cpuprofile f  write a CPU profile of the run to f
 //	-memprofile f  write a heap profile (after GC) to f on exit
 //	-v             per-run progress on stderr
@@ -24,7 +32,8 @@
 // See docs/EXPERIMENTS.md for what each experiment reproduces and the
 // meaning of its summary keys. The long-running numagpud daemon
 // (cmd/numagpud) serves the same experiments over HTTP with a
-// persistent result cache.
+// persistent result cache and coordinates the distributed sweep fabric
+// behind -remote.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/service"
 )
 
 func main() {
@@ -56,8 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	divisor := fs.Int("divisor", 8, "architecture scale divisor")
 	quick := fs.Bool("quick", false, "quick mode (iterscale 0.25)")
 	parallel := fs.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
+	remote := fs.String("remote", "", "numagpud coordinator URL: execute simulations on the sweep fabric")
 	csvDir := fs.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonOut := fs.Bool("json", false, "print each experiment as a JSON object instead of text")
+	golden := fs.Bool("golden", false, "print each experiment in the golden-master fixture format")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	verbose := fs.Bool("v", false, "per-run progress on stderr")
@@ -71,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if fs.NArg() == 0 {
 		fs.Usage()
+		return 2
+	}
+	if *jsonOut && *golden {
+		fmt.Fprintf(stderr, "-json and -golden are mutually exclusive\n")
 		return 2
 	}
 	if *cpuProfile != "" {
@@ -109,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		opts.Progress = stderr
 	}
+	if *remote != "" {
+		opts.Backend = service.NewFabricClient(*remote)
+	}
 	runner := exp.NewRunner(opts)
 
 	names := fs.Args()
@@ -126,8 +145,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		start := time.Now()
-		res := e.Run(runner)
-		if *jsonOut {
+		res, err := runExperiment(e, runner)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", e.Name, err)
+			return 1
+		}
+		if *golden {
+			stdout.Write(exp.RenderGolden(res))
+		} else if *jsonOut {
 			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(e.Named(res)); err != nil {
@@ -144,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
-		if !*jsonOut {
+		if !*jsonOut && !*golden {
 			fmt.Fprintf(stdout, "summary:")
 			for _, k := range sortedKeys(res.Summary) {
 				fmt.Fprintf(stdout, " %s=%.3f", k, res.Summary[k])
@@ -153,6 +178,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// runExperiment converts a panicking run — an invalid configuration
+// reaching core.MustSystem, or a failed remote backend — into an error
+// and a clean nonzero exit instead of a crash with a stack trace.
+func runExperiment(e exp.Experiment, runner *exp.Runner) (res exp.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment failed: %v", p)
+		}
+	}()
+	return e.Run(runner), nil
 }
 
 func sortedKeys(m map[string]float64) []string {

@@ -139,6 +139,50 @@ func TestRunJSONDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunGoldenOutput(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-golden", "fig2")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	// The golden format is table + "summary:" block + "-- csv --" block,
+	// with no elapsed line (it must be byte-stable across runs).
+	for _, want := range []string{"Figure 2", "\nsummary:\n", "-- csv --\n"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("-golden output missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "elapsed:") {
+		t.Fatalf("-golden output must be time-independent:\n%s", stdout)
+	}
+	_, again, _ := runCLI(t, "-golden", "fig2")
+	if stdout != again {
+		t.Fatal("-golden output must be byte-identical across runs")
+	}
+}
+
+func TestRunGoldenJSONExclusive(t *testing.T) {
+	code, _, stderr := runCLI(t, "-golden", "-json", "fig2")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("stderr missing exclusivity diagnostic:\n%s", stderr)
+	}
+}
+
+func TestRunRemoteUnreachable(t *testing.T) {
+	// A dead coordinator must fail the experiment with a clean exit
+	// code and diagnostic, not silently simulate locally (the user
+	// asked for remote execution) and not crash with a stack trace.
+	code, _, stderr := runCLI(t, "-remote", "http://127.0.0.1:1", "-iterscale", "0.01", "fig3")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "fig3:") || !strings.Contains(stderr, "fabric submit") {
+		t.Fatalf("stderr missing remote failure diagnostic:\n%s", stderr)
+	}
+}
+
 func TestRunCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	code, _, stderr := runCLI(t, "-csv", dir, "table2")

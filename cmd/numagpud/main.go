@@ -4,34 +4,56 @@
 // all requests, and persists every simulation result in a
 // content-addressed disk cache so warm results survive restarts.
 //
+// Every daemon is also a sweep-fabric coordinator: other numagpud
+// processes started with -worker register with it, lease shards of its
+// sweeps, and ship results back, scaling a sweep out across machines
+// while the coordinator's disk cache stays the single source of truth.
+//
 // Usage:
 //
 //	numagpud [flags]
 //
 // Flags:
 //
-//	-addr host:port   listen address (default 127.0.0.1:8377)
-//	-cache dir        persistent result cache directory (default
-//	                  "numagpud-cache" under the current directory);
-//	                  empty disables persistence
-//	-iterscale f      scale workload iteration counts (default 1.0)
-//	-divisor n        architecture scale divisor vs the paper machine (default 8)
-//	-maxctas n        cap grid sizes (0 = uncapped)
-//	-quick            shorthand for -iterscale 0.25
-//	-j n              simulations to run in parallel per sweep (default GOMAXPROCS)
-//	-workers n        concurrent jobs (default 2)
-//	-v                mirror per-run progress to stderr
+//	-addr host:port     listen address (default 127.0.0.1:8377)
+//	-cache dir          persistent result cache directory (default
+//	                    "numagpud-cache" under the current directory);
+//	                    empty disables persistence
+//	-iterscale f        scale workload iteration counts (default 1.0)
+//	-divisor n          architecture scale divisor vs the paper machine (default 8)
+//	-maxctas n          cap grid sizes (0 = uncapped)
+//	-quick              shorthand for -iterscale 0.25
+//	-j n                simulations to run in parallel per sweep (default GOMAXPROCS)
+//	-workers n          concurrent jobs (default 2)
+//	-lease-ttl d        declare a fabric worker dead after this long
+//	                    without a poll (default 15s)
+//	-v                  mirror per-run progress to stderr
+//
+// Worker mode:
+//
+//	-worker             join a coordinator as a fabric worker instead of
+//	                    serving the full API (requires -coordinator-url);
+//	                    -addr then serves only /healthz and /metrics, and
+//	                    -cache is ignored (the coordinator owns the cache)
+//	-coordinator-url u  coordinator base URL, e.g. http://host:8377
+//	-window n           max in-flight simulations to lease (default GOMAXPROCS)
+//	-worker-name s      worker display name (default host-pid)
 //
 // A quick session:
 //
 //	numagpud -cache /var/cache/numagpud &
-//	curl -X POST localhost:8377/v1/experiments/fig11
-//	curl localhost:8377/v1/jobs/job-1
-//	curl localhost:8377/v1/jobs/job-1/result
-//	curl localhost:8377/metrics
+//	numagpud -addr 127.0.0.1:8378 -worker -coordinator-url http://127.0.0.1:8377 &
+//	numagpud -addr 127.0.0.1:8379 -worker -coordinator-url http://127.0.0.1:8377 &
+//	numagpu -quick -remote http://127.0.0.1:8377 -j 8 fig3
+//	curl localhost:8377/v1/fabric
+//
+// On SIGINT/SIGTERM a coordinator drains its queued jobs and a worker
+// drains its leased shards (finishing and shipping in-flight results,
+// then deregistering) before exiting.
 //
 // See the internal/service package documentation for the full API and
-// README.md ("Running the service") for a walkthrough.
+// README.md ("Running the service", "Cluster quickstart") for a
+// walkthrough.
 package main
 
 import (
@@ -45,6 +67,7 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/service"
@@ -59,12 +82,50 @@ func main() {
 	quick := flag.Bool("quick", false, "quick mode (iterscale 0.25)")
 	parallel := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel per sweep")
 	workers := flag.Int("workers", 2, "jobs executing concurrently")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "declare a fabric worker dead after this long without a poll")
+	worker := flag.Bool("worker", false, "run as a fabric worker for -coordinator-url")
+	coordURL := flag.String("coordinator-url", "", "coordinator base URL (worker mode)")
+	window := flag.Int("window", runtime.GOMAXPROCS(0), "worker max in-flight simulations")
+	workerName := flag.String("worker-name", "", "worker display name (default host-pid)")
 	verbose := flag.Bool("v", false, "mirror per-run progress to stderr")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: numagpud [flags]\n\nflags:\n")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *worker {
+		if *coordURL == "" {
+			log.Fatalf("numagpud: -worker requires -coordinator-url")
+		}
+		wcfg := service.WorkerConfig{
+			CoordinatorURL: *coordURL,
+			Name:           *workerName,
+			Window:         *window,
+		}
+		if *verbose {
+			wcfg.Mirror = os.Stderr
+		}
+		w := service.NewWorker(wcfg)
+		hs := &http.Server{Addr: *addr, Handler: w.Handler()}
+		go func() {
+			if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("numagpud: %v", err)
+			}
+		}()
+		log.Printf("numagpud: worker %q joining coordinator %s (window %d, status on http://%s)",
+			w.Name(), *coordURL, *window, *addr)
+		err := w.Run(ctx) // drains leased shards and deregisters on SIGINT/SIGTERM
+		hs.Shutdown(context.Background())
+		if err != nil {
+			log.Fatalf("numagpud: worker: %v", err)
+		}
+		log.Printf("numagpud: worker %q drained and deregistered", w.Name())
+		return
 	}
 
 	opts := exp.Options{
@@ -76,7 +137,7 @@ func main() {
 	if *quick {
 		opts.IterScale = 0.25
 	}
-	cfg := service.Config{Options: opts, CacheDir: *cacheDir, Workers: *workers}
+	cfg := service.Config{Options: opts, CacheDir: *cacheDir, Workers: *workers, LeaseTTL: *leaseTTL}
 	if *verbose {
 		cfg.Mirror = os.Stderr
 	}
@@ -90,10 +151,8 @@ func main() {
 	} else {
 		log.Printf("numagpud: persistent cache disabled")
 	}
-	log.Printf("numagpud: listening on http://%s (divisor %d, iterscale %g, %d workers × %d-way sweeps)",
-		*addr, *divisor, opts.IterScale, *workers, *parallel)
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	log.Printf("numagpud: listening on http://%s (divisor %d, iterscale %g, %d workers × %d-way sweeps, fabric lease TTL %s)",
+		*addr, *divisor, opts.IterScale, *workers, *parallel, *leaseTTL)
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	go func() {
 		<-ctx.Done()

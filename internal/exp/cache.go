@@ -27,19 +27,37 @@ type Cache interface {
 	Put(key string, res core.Result)
 }
 
-// Stats counts what a Runner actually did, distinguishing real
-// simulations from results served by the second-level cache. Memo hits
-// (repeats within one Runner lifetime) appear in neither counter: they
-// never leave the in-memory singleflight layer.
+// Stats counts what a Runner actually did, distinguishing real local
+// simulations from results served by the second-level cache or executed
+// by a remote Backend. Memo hits (repeats within one Runner lifetime)
+// appear in no counter: they never leave the in-memory singleflight
+// layer. The json tags make Stats part of the sweep-fabric wire format
+// (workers report their counters to the coordinator every poll).
 type Stats struct {
-	// Simulations is the number of simulations executed by this Runner.
-	Simulations uint64
+	// Simulations is the number of simulations executed locally by
+	// this Runner.
+	Simulations uint64 `json:"simulations"`
 	// CacheHits counts runs served from Options.Cache without
 	// simulating.
-	CacheHits uint64
+	CacheHits uint64 `json:"cache_hits"`
 	// CacheMisses counts cache lookups that fell through to a
-	// simulation (only runs with a configured Cache are counted).
-	CacheMisses uint64
+	// simulation or a backend run (only runs with a configured Cache
+	// are counted).
+	CacheMisses uint64 `json:"cache_misses"`
+	// RemoteRuns counts runs executed by Options.Backend instead of
+	// the local simulator.
+	RemoteRuns uint64 `json:"remote_runs"`
+}
+
+// Add returns the fieldwise sum of two snapshots (used to aggregate a
+// runner set or a worker fleet).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Simulations: s.Simulations + o.Simulations,
+		CacheHits:   s.CacheHits + o.CacheHits,
+		CacheMisses: s.CacheMisses + o.CacheMisses,
+		RemoteRuns:  s.RemoteRuns + o.RemoteRuns,
+	}
 }
 
 // Stats reports a snapshot of the Runner's run counters. It is safe to
@@ -49,6 +67,7 @@ func (r *Runner) Stats() Stats {
 		Simulations: r.sims.Load(),
 		CacheHits:   r.cacheHits.Load(),
 		CacheMisses: r.cacheMisses.Load(),
+		RemoteRuns:  r.remoteRuns.Load(),
 	}
 }
 
@@ -99,4 +118,5 @@ type counters struct {
 	sims        atomic.Uint64
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	remoteRuns  atomic.Uint64
 }

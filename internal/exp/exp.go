@@ -14,6 +14,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -48,6 +49,12 @@ type Options struct {
 	// updated after it: a second-level, typically persistent store
 	// below the in-memory memo. See the Cache interface.
 	Cache Cache
+	// Backend, when non-nil, executes each memo-and-cache-missing run
+	// out of process (e.g. on a numagpud sweep fabric) instead of
+	// simulating inline. ErrBackendUnavailable falls back to a local
+	// simulation; any other backend error fails the run exactly like a
+	// local simulation panic. See the Backend interface.
+	Backend Backend
 }
 
 // DefaultOptions is the reference harness size (minutes for the full
@@ -199,6 +206,30 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 				return
 			}
 			r.cacheMisses.Add(1)
+		}
+		if b := r.opts.Backend; b != nil {
+			res, err := b.Execute(key, cfg, spec, r.opts.workloadOptions())
+			switch {
+			case err == nil:
+				res.Name = spec.Name
+				e.res = res
+				r.remoteRuns.Add(1)
+				if c := r.opts.Cache; c != nil {
+					c.Put(key, res)
+				}
+				if r.opts.Progress != nil {
+					r.progressMu.Lock()
+					fmt.Fprintf(r.opts.Progress, "ran %-28s %-60s %12d cycles (remote)\n", spec.Name, cfgKey(cfg), res.Cycles)
+					r.progressMu.Unlock()
+				}
+				return
+			case !errors.Is(err, ErrBackendUnavailable):
+				// Failed like a simulation: memoized and re-raised for
+				// every caller of this key, so a deterministic remote
+				// failure (bad config, version skew) is not retried.
+				panic(fmt.Errorf("exp: backend run of %s failed: %w", spec.Name, err))
+			}
+			// Backend unavailable: simulate locally below.
 		}
 		sys := core.MustSystem(cfg)
 		res := sys.Run(spec.Program(r.opts.workloadOptions()))

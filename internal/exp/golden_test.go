@@ -3,10 +3,8 @@ package exp
 import (
 	"bytes"
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"testing"
 )
 
@@ -23,27 +21,6 @@ var update = flag.Bool("update", false, "rewrite golden-master fixtures under te
 // goldenPath returns the fixture file for one experiment.
 func goldenPath(name string) string {
 	return filepath.Join("testdata", "golden", name+".golden")
-}
-
-// renderGolden serializes one experiment result in the canonical golden
-// format: the rendered text table, the sorted summary key=value lines,
-// and the CSV rendering — everything cmd/numagpu -quick prints or
-// writes, in one deterministic byte stream.
-func renderGolden(res Result) []byte {
-	var b bytes.Buffer
-	b.WriteString(res.Table.String())
-	b.WriteString("\nsummary:\n")
-	keys := make([]string, 0, len(res.Summary))
-	for k := range res.Summary {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%s=%.9g\n", k, res.Summary[k])
-	}
-	b.WriteString("-- csv --\n")
-	b.WriteString(res.Table.CSV())
-	return b.Bytes()
 }
 
 // TestGoldenMasters regenerates every registered experiment at the
@@ -66,7 +43,7 @@ func TestGoldenMasters(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			got := renderGolden(e.Run(runner))
+			got := RenderGolden(e.Run(runner))
 			path := goldenPath(e.Name)
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// RenderGolden serializes one experiment result in the canonical
+// golden-master format committed under internal/exp/testdata/golden:
+// the rendered text table, the sorted summary key=value lines at %.9g
+// precision, and the CSV rendering, in one deterministic byte stream.
+// TestGoldenMasters diffs this rendering against the fixtures, and
+// `numagpu -golden` prints it, which is how the CI cluster smoke job
+// asserts that a sweep executed on remote workers is byte-identical to
+// the committed fixture.
+func RenderGolden(res Result) []byte {
+	var b bytes.Buffer
+	b.WriteString(res.Table.String())
+	b.WriteString("\nsummary:\n")
+	keys := make([]string, 0, len(res.Summary))
+	for k := range res.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%.9g\n", k, res.Summary[k])
+	}
+	b.WriteString("-- csv --\n")
+	b.WriteString(res.Table.CSV())
+	return b.Bytes()
+}

@@ -1,0 +1,757 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// This file is the coordinator half of the distributed sweep fabric:
+// numagpud workers (see worker.go) register here, lease shards — one
+// shard per unique RunKey — over a pull-based poll protocol, and ship
+// result bytes back so the coordinator's DiskCache stays the single
+// source of truth. The design, bottom to top:
+//
+//   - dedupe: every run entering the fabric first passes through the
+//     coordinator's Runner (memo + DiskCache), so only genuinely new
+//     RunKeys reach the shard table, and the table itself is keyed by
+//     RunKey — two jobs, or a job and a remote numagpu client, asking
+//     for the same simulation share one shard and one worker execution;
+//   - leases: a shard is leased to exactly one worker at a time, and a
+//     worker's polls are its heartbeat. A worker that stops polling for
+//     LeaseTTL is declared dead and its leased shards are re-queued at
+//     the front of the pending queue (counted in shards_requeued);
+//   - windows: each worker declares an in-flight window at
+//     registration; the coordinator never leases it more shards than
+//     the window, so a slow worker cannot strand a sweep's tail;
+//   - fallback: with no live workers (none registered, or all expired)
+//     the dispatcher reports exp.ErrBackendUnavailable and the Runner
+//     simulates locally, so a coordinator without a fleet behaves
+//     exactly like a plain numagpud;
+//   - ingest: results are verified against the shard's RunKey and
+//     accepted at most once; a report for an unknown or already
+//     completed shard (a worker that outlived its lease) is dropped and
+//     counted in results_stale, never double-applied.
+type fabric struct {
+	leaseTTL time.Duration
+	poll     time.Duration
+
+	mu      sync.Mutex
+	closed  bool
+	workers map[string]*fabWorker
+	shards  map[string]*shard // in-flight (pending or leased), by RunKey
+	queue   []*shard          // pending shards, FIFO; lazily compacted
+	nextWID int
+	nextSID int
+
+	// Counters (guarded by mu). shardsTotal counts unique RunKeys that
+	// ever entered the fabric; completed counts shards finished with a
+	// worker-produced result.
+	shardsTotal  uint64
+	completed    uint64
+	failed       uint64
+	requeued     uint64
+	staleResults uint64
+	workersSeen  uint64
+	// departed holds the last absolute counters reported by each
+	// dead/deregistered worker process. Workers report cumulative
+	// per-process stats and are keyed by a stable process ID across
+	// re-registrations, so a worker that expires and re-registers never
+	// has its counters summed twice: per process, the coordinator keeps
+	// the fieldwise max of what it has seen (the counters are
+	// monotonic), whichever registration reported it.
+	departed map[string]exp.Stats
+
+	stop        chan struct{}
+	janitorDone chan struct{}
+}
+
+// fabWorker is the coordinator-side record of one registered worker.
+type fabWorker struct {
+	id       string
+	name     string
+	process  string // stable across re-registrations; stats dedupe key
+	window   int
+	leased   map[string]*shard // by RunKey
+	lastSeen time.Time
+	stats    exp.Stats // absolute per-process counters, as of the last poll
+}
+
+// statsKey is the per-process accounting identity (worker id for
+// clients too old to send one — then each registration is its own
+// process, which degrades to the old accumulate-once behaviour).
+func (w *fabWorker) statsKey() string {
+	if w.process != "" {
+		return w.process
+	}
+	return w.id
+}
+
+// maxStats merges two absolute counter snapshots of one process
+// (fieldwise max: the counters are monotonic, so the larger value is
+// simply the later observation).
+func maxStats(a, b exp.Stats) exp.Stats {
+	m := func(x, y uint64) uint64 {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	return exp.Stats{
+		Simulations: m(a.Simulations, b.Simulations),
+		CacheHits:   m(a.CacheHits, b.CacheHits),
+		CacheMisses: m(a.CacheMisses, b.CacheMisses),
+		RemoteRuns:  m(a.RemoteRuns, b.RemoteRuns),
+	}
+}
+
+// shard is one unique simulation in flight through the fabric.
+type shard struct {
+	id        int
+	run       WireRun
+	owner     *fabWorker // nil while pending
+	completed bool
+	res       core.Result
+	err       error
+	done      chan struct{}
+}
+
+// errNoWorkers is the internal unavailability signal: the dispatcher
+// maps it to exp.ErrBackendUnavailable so the Runner simulates locally.
+var errNoWorkers = errors.New("service: no live fabric workers")
+
+func newFabric(leaseTTL, poll time.Duration) *fabric {
+	f := &fabric{
+		leaseTTL:    leaseTTL,
+		poll:        poll,
+		workers:     make(map[string]*fabWorker),
+		shards:      make(map[string]*shard),
+		departed:    make(map[string]exp.Stats),
+		stop:        make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go f.janitor()
+	return f
+}
+
+// close fails every in-flight shard with errNoWorkers (waiters fall
+// back to local simulation, letting Server.Close drain its jobs) and
+// stops the janitor.
+func (f *fabric) close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.failAllLocked()
+	f.mu.Unlock()
+	close(f.stop)
+	<-f.janitorDone
+}
+
+// janitor periodically expires workers whose heartbeat (poll) is older
+// than the lease TTL, re-queueing their leased shards.
+func (f *fabric) janitor() {
+	defer close(f.janitorDone)
+	tick := f.leaseTTL / 4
+	if tick <= 0 {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case now := <-t.C:
+			f.mu.Lock()
+			for _, w := range f.workers {
+				if now.Sub(w.lastSeen) > f.leaseTTL {
+					f.removeWorkerLocked(w)
+				}
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// removeWorkerLocked drops a worker (death or deregistration),
+// re-queueing its leased shards at the front of the pending queue and
+// folding its last-reported stats into the departed accumulator. If it
+// was the last worker, every in-flight shard is failed with
+// errNoWorkers so waiters fall back to local simulation.
+func (f *fabric) removeWorkerLocked(w *fabWorker) {
+	delete(f.workers, w.id)
+	f.departed[w.statsKey()] = maxStats(f.departed[w.statsKey()], w.stats)
+	for _, sh := range w.leased {
+		sh.owner = nil
+		f.queue = append([]*shard{sh}, f.queue...)
+		f.requeued++
+	}
+	w.leased = nil
+	if len(f.workers) == 0 {
+		f.failAllLocked()
+	}
+}
+
+// failAllLocked completes every live shard with errNoWorkers.
+func (f *fabric) failAllLocked() {
+	live := make([]*shard, 0, len(f.shards))
+	for _, sh := range f.shards {
+		live = append(live, sh)
+	}
+	for _, sh := range live {
+		f.completeLocked(sh, core.Result{}, errNoWorkers)
+	}
+	f.queue = nil
+}
+
+// completeLocked finishes a shard exactly once: records the outcome,
+// releases the lease, removes it from the in-flight table, and wakes
+// the waiter.
+func (f *fabric) completeLocked(sh *shard, res core.Result, err error) {
+	if sh.completed {
+		return
+	}
+	sh.completed = true
+	sh.res, sh.err = res, err
+	if sh.owner != nil {
+		delete(sh.owner.leased, sh.run.Key)
+		sh.owner = nil
+	}
+	delete(f.shards, sh.run.Key)
+	switch {
+	case err == nil:
+		f.completed++
+	case !errors.Is(err, errNoWorkers):
+		f.failed++
+	}
+	close(sh.done)
+}
+
+// execute dispatches one run through the fabric and blocks until a
+// worker completes it (or the fleet disappears). It is the body of the
+// coordinator's exp.Backend: called at most once per RunKey at a time,
+// because every caller goes through a Runner's singleflight memo first.
+func (f *fabric) execute(run WireRun) (core.Result, error) {
+	f.mu.Lock()
+	if f.closed || len(f.workers) == 0 {
+		f.mu.Unlock()
+		return core.Result{}, errNoWorkers
+	}
+	sh, ok := f.shards[run.Key]
+	if !ok {
+		f.nextSID++
+		sh = &shard{id: f.nextSID, run: run, done: make(chan struct{})}
+		f.shards[run.Key] = sh
+		f.queue = append(f.queue, sh)
+		f.shardsTotal++
+	}
+	f.mu.Unlock()
+	<-sh.done
+	return sh.res, sh.err
+}
+
+// register adds a worker to the fleet and returns its lease terms.
+func (f *fabric) register(name, process string, window int) (RegisterResponse, error) {
+	if window < 1 {
+		window = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return RegisterResponse{}, errNoWorkers
+	}
+	f.nextWID++
+	f.workersSeen++
+	w := &fabWorker{
+		id:       fmt.Sprintf("worker-%d", f.nextWID),
+		name:     name,
+		process:  process,
+		window:   window,
+		leased:   make(map[string]*shard),
+		lastSeen: time.Now(),
+	}
+	if w.name == "" {
+		w.name = w.id
+	}
+	f.workers[w.id] = w
+	return RegisterResponse{
+		WorkerID:   w.id,
+		LeaseTTLMs: f.leaseTTL.Milliseconds(),
+		PollMs:     f.poll.Milliseconds(),
+	}, nil
+}
+
+// errUnknownWorker tells a polling worker its registration is gone
+// (expired or coordinator restart); the worker re-registers.
+var errUnknownWorker = errors.New("service: unknown worker")
+
+// deregister removes a worker gracefully (its drained lease set should
+// be empty; anything still leased is re-queued).
+func (f *fabric) deregister(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return errUnknownWorker
+	}
+	f.removeWorkerLocked(w)
+	return nil
+}
+
+// pollWorker is one heartbeat round trip: ingest the worker's finished
+// results, refresh its lease, and grant it new shards up to the free
+// slice of its window.
+func (f *fabric) pollWorker(req PollRequest) (PollResponse, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[req.WorkerID]
+	if !ok || f.closed {
+		return PollResponse{}, errUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	w.stats = req.Stats
+
+	for _, r := range req.Results {
+		sh, ok := f.shards[r.Key]
+		if !ok || sh.completed {
+			// Completed by someone else, or the lease was re-queued and
+			// finished before this late report arrived: drop it. The
+			// shard's recorded result is already authoritative.
+			f.staleResults++
+			continue
+		}
+		if r.Error != "" {
+			f.completeLocked(sh, core.Result{}, fmt.Errorf("worker %s: %s", w.name, r.Error))
+			continue
+		}
+		if r.Result == nil {
+			f.completeLocked(sh, core.Result{}, fmt.Errorf("worker %s: result missing for %s", w.name, r.Key))
+			continue
+		}
+		f.completeLocked(sh, *r.Result, nil)
+	}
+
+	var resp PollResponse
+	resp.PollMs = f.poll.Milliseconds()
+	want := req.Want
+	if free := w.window - len(w.leased); want > free {
+		want = free
+	}
+	for want > 0 && len(f.queue) > 0 {
+		sh := f.queue[0]
+		f.queue = f.queue[1:]
+		if sh.completed || sh.owner != nil {
+			continue // lazily dropped (stale queue entry)
+		}
+		sh.owner = w
+		w.leased[sh.run.Key] = sh
+		resp.Shards = append(resp.Shards, WireShard{ID: sh.id, Run: sh.run})
+		want--
+	}
+	return resp, nil
+}
+
+// snapshot captures the fabric's observable state for /metrics and
+// /v1/fabric.
+type fabricSnapshot struct {
+	WorkersLive  int
+	WorkersSeen  uint64
+	Pending      int
+	Leased       int
+	ShardsTotal  uint64
+	Completed    uint64
+	Failed       uint64
+	Requeued     uint64
+	StaleResults uint64
+	WorkerStats  exp.Stats // departed + last report of every live worker
+	Workers      []FabricWorkerStatus
+}
+
+func (f *fabric) snapshot() fabricSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := fabricSnapshot{
+		WorkersLive:  len(f.workers),
+		WorkersSeen:  f.workersSeen,
+		ShardsTotal:  f.shardsTotal,
+		Completed:    f.completed,
+		Failed:       f.failed,
+		Requeued:     f.requeued,
+		StaleResults: f.staleResults,
+	}
+	// Aggregate stats per worker process (fieldwise max of the departed
+	// record and any live registration), then sum across processes —
+	// re-registration can never double-count.
+	perProcess := make(map[string]exp.Stats, len(f.departed)+len(f.workers))
+	for k, st := range f.departed {
+		perProcess[k] = st
+	}
+	leased := 0
+	for _, w := range f.workers {
+		leased += len(w.leased)
+		perProcess[w.statsKey()] = maxStats(perProcess[w.statsKey()], w.stats)
+		s.Workers = append(s.Workers, FabricWorkerStatus{
+			ID:         w.id,
+			Name:       w.name,
+			Window:     w.window,
+			Leased:     len(w.leased),
+			LastSeenMs: time.Since(w.lastSeen).Milliseconds(),
+			Stats:      w.stats,
+		})
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].ID < s.Workers[j].ID })
+	for _, st := range perProcess {
+		s.WorkerStats = s.WorkerStats.Add(st)
+	}
+	s.Leased = leased
+	for _, sh := range f.shards {
+		if !sh.completed && sh.owner == nil {
+			s.Pending++
+		}
+	}
+	return s
+}
+
+// fabricBackend adapts the fabric dispatcher to exp.Backend for the
+// coordinator's own runners.
+type fabricBackend struct{ f *fabric }
+
+func (b fabricBackend) Execute(key string, cfg arch.Config, spec workload.Spec, opts workload.Options) (core.Result, error) {
+	res, err := b.f.execute(WireRun{
+		Key:       key,
+		Cfg:       cfg,
+		Workload:  spec.Name,
+		IterScale: opts.IterScale,
+		MaxCTAs:   opts.MaxCTAs,
+	})
+	if errors.Is(err, errNoWorkers) {
+		return core.Result{}, exp.ErrBackendUnavailable
+	}
+	return res, err
+}
+
+// --- wire types ---
+
+// WireRun is the canonical wire form of one simulation: its RunKey
+// (content address), the full architectural configuration, the Table 2
+// workload name, and the workload scaling options. A worker — or the
+// coordinator handling POST /v1/fabric/runs — can re-derive the RunKey
+// from the other fields, which is how version skew between binaries
+// (differing cache schemas, new Config fields) is detected instead of
+// silently producing mismatched results.
+type WireRun struct {
+	Key       string      `json:"key"`
+	Cfg       arch.Config `json:"cfg"`
+	Workload  string      `json:"workload"`
+	IterScale float64     `json:"iter_scale"`
+	MaxCTAs   int         `json:"max_ctas"`
+}
+
+// RegisterRequest is the body of POST /v1/fabric/workers.
+type RegisterRequest struct {
+	// Name is the worker's display name (default: its assigned ID).
+	Name string `json:"name,omitempty"`
+	// Process is a stable identifier for the worker process across
+	// re-registrations (lease expiry + re-register): the coordinator
+	// keys stats accounting by it so cumulative counters reported
+	// under a new registration supersede, not add to, the old one's.
+	Process string `json:"process,omitempty"`
+	// Window is the maximum number of shards the worker wants leased at
+	// once (its in-flight simulation budget).
+	Window int `json:"window"`
+}
+
+// RegisterResponse carries the assigned worker identity and the
+// coordinator's lease terms.
+type RegisterResponse struct {
+	WorkerID   string `json:"worker_id"`
+	LeaseTTLMs int64  `json:"lease_ttl_ms"`
+	PollMs     int64  `json:"poll_ms"`
+}
+
+// WireShard is one leased unit of work.
+type WireShard struct {
+	ID  int     `json:"id"`
+	Run WireRun `json:"run"`
+}
+
+// ShardResult reports one finished shard back to the coordinator.
+// Exactly one of Result and Error is set.
+type ShardResult struct {
+	ShardID int          `json:"shard_id"`
+	Key     string       `json:"key"`
+	Result  *core.Result `json:"result,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// PollRequest is the body of POST /v1/fabric/poll: the worker's
+// heartbeat, finished results, current run counters, and how many new
+// shards it can accept.
+type PollRequest struct {
+	WorkerID string        `json:"worker_id"`
+	Want     int           `json:"want"`
+	Results  []ShardResult `json:"results,omitempty"`
+	Stats    exp.Stats     `json:"stats"`
+}
+
+// PollResponse grants shards and echoes the advertised poll interval.
+type PollResponse struct {
+	Shards []WireShard `json:"shards,omitempty"`
+	PollMs int64       `json:"poll_ms"`
+}
+
+// FabricWorkerStatus is one worker row of GET /v1/fabric.
+type FabricWorkerStatus struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Window     int       `json:"window"`
+	Leased     int       `json:"leased"`
+	LastSeenMs int64     `json:"last_seen_ms"`
+	Stats      exp.Stats `json:"stats"`
+}
+
+// FabricStatus is the GET /v1/fabric payload: the live fleet plus the
+// shard accounting the acceptance checks observe.
+type FabricStatus struct {
+	Workers           []FabricWorkerStatus `json:"workers"`
+	PendingShards     int                  `json:"pending_shards"`
+	LeasedShards      int                  `json:"leased_shards"`
+	ShardsTotal       uint64               `json:"shards_total"`
+	ShardsCompleted   uint64               `json:"shards_completed"`
+	ShardsFailed      uint64               `json:"shards_failed"`
+	ShardsRequeued    uint64               `json:"shards_requeued"`
+	StaleResults      uint64               `json:"stale_results"`
+	WorkerSimulations uint64               `json:"worker_simulations"`
+}
+
+// RemoteRunStatus is the wire form of one remotely submitted run
+// (POST /v1/fabric/runs → GET /v1/fabric/runs/{id}).
+type RemoteRunStatus struct {
+	ID     string       `json:"id"`
+	State  JobState     `json:"state"`
+	Result *core.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// runID is the URL-safe content address of a RunKey (RunKeys themselves
+// contain '/' and '|'), shared by the submit and poll endpoints.
+func runID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// --- coordinator HTTP handlers ---
+
+func (s *Server) handleFabricRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad register request: %v", err)
+		return
+	}
+	resp, err := s.fabric.register(req.Name, req.Process, req.Window)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleFabricDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.fabric.deregister(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deregistered"})
+}
+
+func (s *Server) handleFabricPoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad poll request: %v", err)
+		return
+	}
+	resp, err := s.fabric.pollWorker(req)
+	if err != nil {
+		// 410 tells the worker its registration is gone; it re-registers.
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFabricStatus(w http.ResponseWriter, r *http.Request) {
+	snap := s.fabric.snapshot()
+	st := FabricStatus{
+		Workers:           snap.Workers,
+		PendingShards:     snap.Pending,
+		LeasedShards:      snap.Leased,
+		ShardsTotal:       snap.ShardsTotal,
+		ShardsCompleted:   snap.Completed,
+		ShardsFailed:      snap.Failed,
+		ShardsRequeued:    snap.Requeued,
+		StaleResults:      snap.StaleResults,
+		WorkerSimulations: snap.WorkerStats.Simulations,
+	}
+	if st.Workers == nil {
+		st.Workers = []FabricWorkerStatus{}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleFabricSubmitRun accepts one run from a remote client (numagpu
+// -remote via FabricClient), verifies its RunKey against a locally
+// derived one, and executes it through the coordinator's runner set —
+// so remote submissions share the memo, the disk cache, and the worker
+// fleet with every other source of work.
+func (s *Server) handleFabricSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var run WireRun
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&run); err != nil {
+		writeError(w, http.StatusBadRequest, "bad run request: %v", err)
+		return
+	}
+	spec, ok := workload.ByName(run.Workload)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown workload %q", run.Workload)
+		return
+	}
+	if err := run.Cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+	runner := s.runners.runner(run.IterScale, run.MaxCTAs)
+	if want := runner.RunKey(run.Cfg, spec); want != run.Key {
+		// Client and coordinator disagree on the content address:
+		// mixed simulator versions. Refusing keeps the cache coherent.
+		writeError(w, http.StatusConflict, "run key mismatch (client %q, coordinator %q): simulator version skew?", run.Key, want)
+		return
+	}
+	st, err := s.startRemoteRun(runner, run.Cfg, spec, run.Key)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleFabricRunStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.remoteMu.Lock()
+	rr, ok := s.remoteRuns[id]
+	var st RemoteRunStatus
+	if ok {
+		st = rr.status()
+	}
+	s.remoteMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// remoteRun tracks one POST /v1/fabric/runs submission. Mutable fields
+// are guarded by Server.remoteMu.
+type remoteRun struct {
+	id    string
+	state JobState
+	res   core.Result
+	err   string
+}
+
+func (rr *remoteRun) status() RemoteRunStatus {
+	st := RemoteRunStatus{ID: rr.id, State: rr.state, Error: rr.err}
+	if rr.state == JobDone {
+		res := rr.res
+		st.Result = &res
+	}
+	return st
+}
+
+// remoteRunRetention bounds the finished remote-run table, mirroring
+// JobRetention for the job queue.
+const remoteRunRetention = 4096
+
+// startRemoteRun begins (or joins) the execution of one remotely
+// submitted run, identified by the content address of its RunKey.
+func (s *Server) startRemoteRun(runner *exp.Runner, cfg arch.Config, spec workload.Spec, key string) (RemoteRunStatus, error) {
+	id := runID(key)
+	s.mu.Lock()
+	closing := s.closing
+	if !closing {
+		s.wg.Add(1) // Close waits for in-flight remote runs too
+	}
+	s.mu.Unlock()
+	if closing {
+		return RemoteRunStatus{}, errors.New("service: shutting down")
+	}
+
+	s.remoteMu.Lock()
+	if rr, ok := s.remoteRuns[id]; ok {
+		st := rr.status()
+		s.remoteMu.Unlock()
+		s.wg.Done() // joined an existing run
+		return st, nil
+	}
+	rr := &remoteRun{id: id, state: JobRunning}
+	s.remoteRuns[id] = rr
+	s.remoteOrder = append(s.remoteOrder, id)
+	s.evictRemoteLocked()
+	st := rr.status() // snapshot before the goroutine can mutate rr
+	s.remoteMu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		res, err := func() (res core.Result, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("%v", p)
+				}
+			}()
+			return runner.Run(cfg, spec), nil
+		}()
+		s.remoteMu.Lock()
+		if err != nil {
+			rr.state, rr.err = JobFailed, err.Error()
+		} else {
+			rr.state, rr.res = JobDone, res
+		}
+		s.remoteMu.Unlock()
+	}()
+	return st, nil
+}
+
+// evictRemoteLocked drops the oldest finished remote runs beyond the
+// retention bound. Caller holds s.remoteMu.
+func (s *Server) evictRemoteLocked() {
+	if len(s.remoteOrder) <= remoteRunRetention {
+		return
+	}
+	kept := s.remoteOrder[:0]
+	excess := len(s.remoteOrder) - remoteRunRetention
+	for _, id := range s.remoteOrder {
+		rr := s.remoteRuns[id]
+		if excess > 0 && rr.state != JobRunning {
+			delete(s.remoteRuns, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.remoteOrder = kept
+}

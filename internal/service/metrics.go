@@ -11,7 +11,8 @@ import (
 // hits/misses, job states, and queue depth — the numbers the
 // acceptance checks (singleflight, warm restart) observe.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	rs := s.runner.Stats()
+	rs := s.runners.stats()
+	fs := s.fabric.snapshot()
 
 	s.mu.Lock()
 	byState := map[JobState]int{}
@@ -65,6 +66,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP numagpud_jobs_running Jobs currently executing.\n")
 	p("# TYPE numagpud_jobs_running gauge\n")
 	p("numagpud_jobs_running %d\n", running)
+
+	p("# HELP numagpud_remote_runs_total Runs executed by fabric workers on behalf of this daemon's runners.\n")
+	p("# TYPE numagpud_remote_runs_total counter\n")
+	p("numagpud_remote_runs_total %d\n", rs.RemoteRuns)
+
+	p("# HELP numagpud_fabric_workers Live registered fabric workers.\n")
+	p("# TYPE numagpud_fabric_workers gauge\n")
+	p("numagpud_fabric_workers %d\n", fs.WorkersLive)
+
+	p("# HELP numagpud_fabric_workers_seen_total Workers ever registered.\n")
+	p("# TYPE numagpud_fabric_workers_seen_total counter\n")
+	p("numagpud_fabric_workers_seen_total %d\n", fs.WorkersSeen)
+
+	p("# HELP numagpud_fabric_shards Shards currently in flight by state.\n")
+	p("# TYPE numagpud_fabric_shards gauge\n")
+	p("numagpud_fabric_shards{state=\"pending\"} %d\n", fs.Pending)
+	p("numagpud_fabric_shards{state=\"leased\"} %d\n", fs.Leased)
+
+	p("# HELP numagpud_fabric_shards_total Unique RunKeys ever dispatched to the fabric.\n")
+	p("# TYPE numagpud_fabric_shards_total counter\n")
+	p("numagpud_fabric_shards_total %d\n", fs.ShardsTotal)
+
+	p("# HELP numagpud_fabric_shards_completed_total Shards finished with a worker-produced result.\n")
+	p("# TYPE numagpud_fabric_shards_completed_total counter\n")
+	p("numagpud_fabric_shards_completed_total %d\n", fs.Completed)
+
+	p("# HELP numagpud_fabric_shards_failed_total Shards finished with a deterministic worker error.\n")
+	p("# TYPE numagpud_fabric_shards_failed_total counter\n")
+	p("numagpud_fabric_shards_failed_total %d\n", fs.Failed)
+
+	p("# HELP numagpud_fabric_shards_requeued_total Shards re-queued after their worker died or timed out.\n")
+	p("# TYPE numagpud_fabric_shards_requeued_total counter\n")
+	p("numagpud_fabric_shards_requeued_total %d\n", fs.Requeued)
+
+	p("# HELP numagpud_fabric_results_stale_total Worker reports dropped because the shard was already complete or unknown (exactly-once guard).\n")
+	p("# TYPE numagpud_fabric_results_stale_total counter\n")
+	p("numagpud_fabric_results_stale_total %d\n", fs.StaleResults)
+
+	p("# HELP numagpud_fabric_worker_simulations_total Simulations reported by workers (live fleet's last polls plus departed workers).\n")
+	p("# TYPE numagpud_fabric_worker_simulations_total counter\n")
+	p("numagpud_fabric_worker_simulations_total %d\n", fs.WorkerStats.Simulations)
 
 	p("# HELP numagpud_uptime_seconds Seconds since the daemon started.\n")
 	p("# TYPE numagpud_uptime_seconds gauge\n")

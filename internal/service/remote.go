@@ -1,0 +1,138 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// FabricClient implements exp.Backend over HTTP against a numagpud
+// coordinator: each Execute submits one run (POST /v1/fabric/runs,
+// idempotent by the run's content address) and polls it to completion.
+// Plugged into exp.NewRemoteRunner — or `numagpu -remote URL` — it
+// drives any experiment through the coordinator's memo, disk cache,
+// and worker fleet while the client keeps full responsibility for
+// request order and table rendering, so the output is byte-identical
+// to a local run.
+//
+// A FabricClient never returns exp.ErrBackendUnavailable: a client
+// that asked for remote execution should fail loudly when the
+// coordinator is unreachable, not silently simulate locally. (The
+// coordinator itself falls back to local simulation when it has no
+// workers, so a reachable coordinator always completes the run.)
+type FabricClient struct {
+	// BaseURL is the coordinator root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Poll is the status poll interval (default 150ms).
+	Poll time.Duration
+	// Retries bounds consecutive transport failures tolerated while
+	// submitting or polling before the run is failed (default 20).
+	Retries int
+
+	// down latches after a submit exhausts its transport retries, so a
+	// sweep against a dead coordinator fails its remaining runs
+	// immediately instead of re-probing per run.
+	down atomic.Bool
+}
+
+// NewFabricClient returns a client for the coordinator at base.
+func NewFabricClient(base string) *FabricClient {
+	return &FabricClient{BaseURL: base}
+}
+
+// Execute implements exp.Backend.
+func (c *FabricClient) Execute(key string, cfg arch.Config, spec workload.Spec, opts workload.Options) (core.Result, error) {
+	cl := &Client{BaseURL: c.BaseURL, HTTPClient: c.HTTPClient}
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 150 * time.Millisecond
+	}
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 20
+	}
+	if c.down.Load() {
+		return core.Result{}, errors.New("service: fabric submit: coordinator unreachable (marked down)")
+	}
+	run := WireRun{
+		Key:       key,
+		Cfg:       cfg,
+		Workload:  spec.Name,
+		IterScale: opts.IterScale,
+		MaxCTAs:   opts.MaxCTAs,
+	}
+
+	submit := func() (RemoteRunStatus, error) {
+		var st RemoteRunStatus
+		for attempt := 0; ; attempt++ {
+			err := cl.do("POST", "/v1/fabric/runs", run, &st)
+			if err == nil {
+				return st, nil
+			}
+			var ae *apiError
+			if errors.As(err, &ae) {
+				// An HTTP-level reply is authoritative: 400/409/503
+				// will not get better with retries.
+				return st, fmt.Errorf("service: fabric submit: %w", err)
+			}
+			if attempt+1 >= retries {
+				c.down.Store(true)
+				return st, fmt.Errorf("service: fabric submit: %w", err)
+			}
+			time.Sleep(poll)
+		}
+	}
+
+	st, err := submit()
+	if err != nil {
+		return core.Result{}, err
+	}
+	failures := 0
+	resubmits := 0
+	for {
+		switch st.State {
+		case JobDone:
+			if st.Result == nil {
+				return core.Result{}, fmt.Errorf("service: fabric run %s done without result", st.ID)
+			}
+			return *st.Result, nil
+		case JobFailed:
+			return core.Result{}, fmt.Errorf("service: fabric run failed: %s", st.Error)
+		}
+		time.Sleep(poll)
+		if err := cl.do("GET", "/v1/fabric/runs/"+st.ID, nil, &st); err != nil {
+			var ae *apiError
+			if errors.As(err, &ae) {
+				if ae.Status == http.StatusNotFound && resubmits < retries {
+					// The coordinator forgot the run (restart, or
+					// retention eviction under a slow poller):
+					// resubmit — idempotent by content address, and
+					// cheap when the result already reached the disk
+					// cache.
+					resubmits++
+					if st, err = submit(); err != nil {
+						return core.Result{}, err
+					}
+					continue
+				}
+				// Any other HTTP reply is authoritative: fail now
+				// rather than burning the whole retry budget on it.
+				return core.Result{}, fmt.Errorf("service: fabric poll: %w", err)
+			}
+			failures++
+			if failures >= retries {
+				return core.Result{}, fmt.Errorf("service: fabric poll: %w", err)
+			}
+			continue
+		}
+		failures = 0
+	}
+}

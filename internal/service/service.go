@@ -25,6 +25,16 @@
 //	GET  /metrics                 Prometheus text format
 //	GET  /healthz                 liveness probe
 //
+// Sweep-fabric endpoints (see fabric.go; the daemon is always a
+// capable coordinator, and numagpud -worker joins one as a worker):
+//
+//	GET    /v1/fabric              fleet + shard accounting
+//	POST   /v1/fabric/workers      worker registration
+//	DELETE /v1/fabric/workers/{id} graceful worker departure
+//	POST   /v1/fabric/poll         worker heartbeat/lease/result round trip
+//	POST   /v1/fabric/runs         submit one run (numagpu -remote)
+//	GET    /v1/fabric/runs/{id}    poll a submitted run
+//
 // Result payloads are deterministic: the same request against the same
 // simulator version yields byte-identical /result bodies, whether the
 // runs were simulated, memoized, or replayed from the disk cache.
@@ -70,6 +80,13 @@ type Config struct {
 	// evicted beyond it (default 256). Queued and running jobs are
 	// never evicted.
 	JobRetention int
+	// LeaseTTL is how long a registered fabric worker may go without
+	// polling before it is declared dead and its leased shards are
+	// re-queued (default 15s).
+	LeaseTTL time.Duration
+	// FabricPoll is the poll/heartbeat interval advertised to fabric
+	// workers (default 250ms).
+	FabricPoll time.Duration
 }
 
 // JobState is the lifecycle of a job: queued → running → done|failed.
@@ -127,18 +144,27 @@ type CacheStatus struct {
 // Server is the numagpud daemon: an http.Handler plus the worker pool
 // behind it. Create with New, release with Close.
 type Server struct {
-	cfg    Config
-	runner *exp.Runner
-	disk   *DiskCache
-	mux    *http.ServeMux
-	start  time.Time
+	cfg     Config
+	runner  *exp.Runner // the job queue's runner (the configured options)
+	runners *runnerSet  // every runner, by (IterScale, MaxCTAs); shares cache+fabric
+	disk    *DiskCache
+	fabric  *fabric
+	mux     *http.ServeMux
+	start   time.Time
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // job IDs in submission order
-	active map[*job]bool
-	nextID int
-	queued int
+	mu      sync.Mutex
+	closing bool
+	jobs    map[string]*job
+	order   []string // job IDs in submission order
+	active  map[*job]bool
+	nextID  int
+	queued  int
+
+	// Remotely submitted fabric runs (POST /v1/fabric/runs), by the
+	// content address of their RunKey.
+	remoteMu    sync.Mutex
+	remoteRuns  map[string]*remoteRun
+	remoteOrder []string
 
 	queue     chan *job
 	wg        sync.WaitGroup
@@ -157,12 +183,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JobRetention < 1 {
 		cfg.JobRetention = 256
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.FabricPoll <= 0 {
+		cfg.FabricPoll = 250 * time.Millisecond
+	}
 	s := &Server{
-		cfg:    cfg,
-		start:  time.Now(),
-		jobs:   make(map[string]*job),
-		active: make(map[*job]bool),
-		queue:  make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		start:      time.Now(),
+		jobs:       make(map[string]*job),
+		active:     make(map[*job]bool),
+		queue:      make(chan *job, cfg.QueueDepth),
+		remoteRuns: make(map[string]*remoteRun),
 	}
 	opts := cfg.Options
 	opts.Cache = nil // owned by the Server: only the configured DiskCache is wired in
@@ -175,7 +208,15 @@ func New(cfg Config) (*Server, error) {
 		opts.Cache = disk
 	}
 	opts.Progress = (*progressRouter)(s)
-	s.runner = exp.NewRunner(opts)
+	// Every simulation this server runs — job queue or remote
+	// submission — is offered to the sweep fabric first; with no
+	// registered workers the backend reports unavailable and the
+	// runner simulates locally, so a worker-less coordinator behaves
+	// exactly like a standalone daemon.
+	s.fabric = newFabric(cfg.LeaseTTL, cfg.FabricPoll)
+	opts.Backend = fabricBackend{s.fabric}
+	s.runners = newRunnerSet(opts)
+	s.runner = s.runners.runner(opts.IterScale, opts.MaxCTAs)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
@@ -185,6 +226,12 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /v1/fabric", s.handleFabricStatus)
+	mux.HandleFunc("POST /v1/fabric/workers", s.handleFabricRegister)
+	mux.HandleFunc("DELETE /v1/fabric/workers/{id}", s.handleFabricDeregister)
+	mux.HandleFunc("POST /v1/fabric/poll", s.handleFabricPoll)
+	mux.HandleFunc("POST /v1/fabric/runs", s.handleFabricSubmitRun)
+	mux.HandleFunc("GET /v1/fabric/runs/{id}", s.handleFabricRunStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
@@ -201,17 +248,84 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops accepting new submissions and waits for every already-
-// queued and running job to finish (the workers drain the queue).
-// Submissions after Close fail with 503.
+// Close stops accepting new submissions, shuts the sweep fabric down
+// (in-flight leased shards fail over to local simulation so the drain
+// cannot hang on a dead fleet), and waits for every already-queued job
+// and remote run to finish. Submissions after Close fail with 503.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.queue) })
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		s.mu.Unlock()
+		s.fabric.close()
+		close(s.queue)
+	})
 	s.wg.Wait()
 }
 
-// RunnerStats exposes the shared runner's run accounting (used by the
-// restart tests and the metrics endpoint).
-func (s *Server) RunnerStats() exp.Stats { return s.runner.Stats() }
+// RunnerStats exposes the aggregate run accounting across every runner
+// the server holds — the job queue's plus one per distinct
+// (IterScale, MaxCTAs) seen on the fabric run endpoint — used by the
+// restart tests and the metrics endpoint.
+func (s *Server) RunnerStats() exp.Stats { return s.runners.stats() }
+
+// runnerSet lazily builds one exp.Runner per (IterScale, MaxCTAs)
+// pair, all sharing the same cache, progress sink, and fabric backend.
+// The coordinator needs this because remote clients ship their own
+// workload scaling (a -quick client against a default-scale daemon),
+// and RunKeys embed that scaling — each scaling gets its own memo
+// keyspace, while the DiskCache below remains shared and keyed
+// collision-free.
+type runnerSet struct {
+	base exp.Options
+
+	mu      sync.Mutex
+	runners map[runnerScale]*exp.Runner
+}
+
+type runnerScale struct {
+	iterScale float64
+	maxCTAs   int
+}
+
+func newRunnerSet(base exp.Options) *runnerSet {
+	return &runnerSet{base: base, runners: make(map[runnerScale]*exp.Runner)}
+}
+
+// runner returns the shared Runner for one workload scaling, creating
+// it on first use. Scale normalization mirrors exp.Options.normalized
+// so 0 and the default never produce two runners with one keyspace.
+func (rs *runnerSet) runner(iterScale float64, maxCTAs int) *exp.Runner {
+	if iterScale <= 0 {
+		iterScale = 1
+	}
+	if maxCTAs < 0 {
+		maxCTAs = 0
+	}
+	key := runnerScale{iterScale, maxCTAs}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if r, ok := rs.runners[key]; ok {
+		return r
+	}
+	opts := rs.base
+	opts.IterScale = iterScale
+	opts.MaxCTAs = maxCTAs
+	r := exp.NewRunner(opts)
+	rs.runners[key] = r
+	return r
+}
+
+// stats sums the run counters across every runner in the set.
+func (rs *runnerSet) stats() exp.Stats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var sum exp.Stats
+	for _, r := range rs.runners {
+		sum = sum.Add(r.Stats())
+	}
+	return sum
+}
 
 // progressRouter adapts the Server to the io.Writer shape of
 // exp.Options.Progress: every per-run progress line is appended to all

@@ -11,6 +11,8 @@
 #   scripts/bench.sh            # full run: 1s benchtime + the -quick suite
 #   scripts/bench.sh --fast     # CI smoke: 100ms benchtime, no -quick suite
 #   scripts/bench.sh --no-quick # full benchtime, skip the -quick suite
+#   scripts/bench.sh --fabric   # also time fig3 locally vs a 2-worker
+#                               # sweep-fabric cluster (needs curl + jq)
 #
 # BENCHTIME=2s scripts/bench.sh overrides the benchmark time.
 set -euo pipefail
@@ -18,11 +20,13 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 RUN_QUICK=1
+RUN_FABRIC=0
 for arg in "$@"; do
   case "$arg" in
     --fast) BENCHTIME=100ms; RUN_QUICK=0 ;;
     --no-quick) RUN_QUICK=0 ;;
-    *) echo "usage: scripts/bench.sh [--fast] [--no-quick]" >&2; exit 2 ;;
+    --fabric) RUN_FABRIC=1 ;;
+    *) echo "usage: scripts/bench.sh [--fast] [--no-quick] [--fabric]" >&2; exit 2 ;;
   esac
 done
 
@@ -42,6 +46,68 @@ if [ "$RUN_QUICK" = 1 ]; then
   end=$(date +%s%N)
   rm -f "$bin"
   quick_wall=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
+fi
+
+# --fabric: boot one coordinator + two workers on loopback and time
+# `numagpu -quick fig3` executed locally (-j 1) vs through the fabric
+# (-remote, -j 8). The two runs are byte-compared, so the timing doubles
+# as a correctness check. Results land under the "fabric" key and in the
+# history entry; see docs/PERF.md ("The sweep fabric").
+fabric_json=null
+if [ "$RUN_FABRIC" = 1 ]; then
+  if ! command -v curl >/dev/null 2>&1 || ! command -v jq >/dev/null 2>&1; then
+    echo "--fabric needs curl and jq; skipping the fabric timing" >&2
+  else
+    echo "timing the sweep fabric (fig3: local -j 1 vs coordinator + 2 workers)..." >&2
+    gpubin=$(mktemp -t numagpu.XXXXXX)
+    gpudbin=$(mktemp -t numagpud.XXXXXX)
+    go build -o "$gpubin" ./cmd/numagpu
+    go build -o "$gpudbin" ./cmd/numagpud
+    workdir=$(mktemp -d -t fabric-bench.XXXXXX)
+    coord=127.0.0.1:8397
+    fabric_pids=()
+    cleanup_fabric() {
+      kill "${fabric_pids[@]}" 2>/dev/null || true
+      wait "${fabric_pids[@]}" 2>/dev/null || true
+      rm -f "$gpubin" "$gpudbin"
+      rm -rf "$workdir"
+    }
+    trap cleanup_fabric EXIT
+
+    "$gpudbin" -addr "$coord" -cache "$workdir/coord-cache" >"$workdir/coord.log" 2>&1 &
+    fabric_pids+=($!)
+    "$gpudbin" -addr 127.0.0.1:8398 -worker -coordinator-url "http://$coord" -window 2 >"$workdir/w1.log" 2>&1 &
+    fabric_pids+=($!)
+    "$gpudbin" -addr 127.0.0.1:8399 -worker -coordinator-url "http://$coord" -window 2 >"$workdir/w2.log" 2>&1 &
+    fabric_pids+=($!)
+    for _ in $(seq 100); do
+      n=$(curl -fs "http://$coord/v1/fabric" 2>/dev/null | jq '.workers | length' 2>/dev/null || echo 0)
+      [ "$n" = 2 ] && break
+      sleep 0.1
+    done
+    if [ "$n" != 2 ]; then
+      echo "fabric workers never registered (see $workdir/*.log)" >&2
+      exit 1
+    fi
+
+    start=$(date +%s%N)
+    "$gpubin" -quick -j 1 -golden fig3 > "$workdir/fig3.local"
+    end=$(date +%s%N)
+    local_wall=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
+
+    start=$(date +%s%N)
+    "$gpubin" -quick -j 8 -golden -remote "http://$coord" fig3 > "$workdir/fig3.remote"
+    end=$(date +%s%N)
+    cluster_wall=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
+
+    cmp "$workdir/fig3.local" "$workdir/fig3.remote"
+    shards=$(curl -fs "http://$coord/metrics" | awk '$1 == "numagpud_fabric_shards_total" {print $2}')
+    cleanup_fabric
+    trap - EXIT
+    fabric_json=$(printf '{"workers": 2, "fig3_unique_runs": %s, "local_j1_fig3_wall_seconds": %s, "cluster2_fig3_wall_seconds": %s}' \
+      "${shards:-0}" "$local_wall" "$cluster_wall")
+    echo "fabric: fig3 local -j 1 ${local_wall}s vs 2-worker cluster ${cluster_wall}s (byte-identical, ${shards:-0} unique runs)" >&2
+  fi
 fi
 
 current=$(printf '%s\n%s\n' "$engbench" "$modelbench" | awk \
@@ -108,11 +174,14 @@ if command -v jq >/dev/null 2>&1; then
   if [ -f "$out" ] && jq -e . "$out" >/dev/null 2>&1; then
     prev=$(cat "$out")
   fi
-  printf '%s' "$current" | jq --argjson prev "$prev" '
+  printf '%s' "$current" | jq --argjson prev "$prev" --argjson fabric "$fabric_json" '
     . as $cur
     | $cur
     + (if $prev.model_pre_refactor then {model_pre_refactor: $prev.model_pre_refactor} else {} end)
-    + {history: (($prev.history // []) + [{
+    + (if $fabric != null then {fabric: $fabric}
+       elif $prev.fabric then {fabric: $prev.fabric}
+       else {} end)
+    + {history: (($prev.history // []) + [({
         date: $cur.date,
         benchtime: $cur.benchtime,
         quick_all_wall_seconds: $cur.quick_all_wall_seconds,
@@ -121,7 +190,10 @@ if command -v jq >/dev/null 2>&1; then
         model_l2_miss_ns: $cur.model.l2_miss.ns_per_op,
         model_mshr_merge_ns: $cur.model.mshr_merge.ns_per_op,
         model_socket_workload_ns: $cur.model.socket_workload.ns_per_op
-      }])}' > "$out.tmp"
+      } + (if $fabric != null then {
+        fabric_local_j1_fig3_wall_seconds: $fabric.local_j1_fig3_wall_seconds,
+        fabric_cluster2_fig3_wall_seconds: $fabric.cluster2_fig3_wall_seconds
+      } else {} end))])}' > "$out.tmp"
   mv "$out.tmp" "$out"
 else
   echo "jq not found: writing snapshot without history preservation" >&2
