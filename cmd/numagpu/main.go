@@ -15,6 +15,14 @@
 //	-divisor n     architecture scale divisor vs the paper machine (default 8)
 //	-quick         shorthand for -iterscale 0.25
 //	-j n           simulations to run in parallel (default GOMAXPROCS)
+//	-topology f    load an explicit link-graph topology from a JSON file
+//	               (docs/TOPOLOGY.md) and apply it to every configuration
+//	               whose socket count matches; nil keeps the synthesized
+//	               symmetric crossbar
+//	-validate      with -topology: parse + validate the file, print its
+//	               canonical encoding, and exit (nonzero on schema errors)
+//	-dump-topology p  print the effective topology of preset p (base,
+//	               traditional, numa-aware or monolithic) as JSON and exit
 //	-remote url    execute the simulations on a numagpud sweep-fabric
 //	               coordinator instead of in-process; tables are still
 //	               rendered locally, byte-identical to a local run.
@@ -48,8 +56,10 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/exp"
 	"repro/internal/service"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -67,6 +77,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "quick mode (iterscale 0.25)")
 	parallel := fs.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
 	remote := fs.String("remote", "", "numagpud coordinator URL: execute simulations on the sweep fabric")
+	topoPath := fs.String("topology", "", "topology JSON file replacing the synthesized crossbar (docs/TOPOLOGY.md)")
+	validate := fs.Bool("validate", false, "with -topology: validate the file, print its canonical encoding, and exit")
+	dumpPreset := fs.String("dump-topology", "", "print the effective topology of this preset (base|traditional|numa-aware|monolithic) and exit")
 	csvDir := fs.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonOut := fs.Bool("json", false, "print each experiment as a JSON object instead of text")
 	golden := fs.Bool("golden", false, "print each experiment in the golden-master fixture format")
@@ -79,6 +92,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0 // -h/--help is a success, matching the old ExitOnError behaviour
 		}
 		return 2
+	}
+
+	var topology *topo.Topology
+	if *topoPath != "" {
+		data, err := os.ReadFile(*topoPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "topology: %v\n", err)
+			return 1
+		}
+		topology, err = topo.Parse(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "topology: %s: %v\n", *topoPath, err)
+			return 1
+		}
+	}
+	if *validate {
+		if topology == nil {
+			fmt.Fprintf(stderr, "-validate requires -topology\n")
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s: valid (%d sockets, %d switches, %d links)\ncanonical: %s\n",
+			*topoPath, len(topology.Sockets), topology.Switches, len(topology.Links), topology.Canonical())
+		return 0
+	}
+	if *dumpPreset != "" {
+		return dumpTopology(*dumpPreset, *divisor, topology, stdout, stderr)
 	}
 
 	if fs.NArg() == 0 {
@@ -118,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
-	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale, Parallelism: *parallel}
+	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale, Parallelism: *parallel, Topology: topology}
 	if *quick {
 		opts.IterScale = 0.25
 	}
@@ -177,6 +216,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "\nelapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return 0
+}
+
+// dumpTopology prints the effective topology of one configuration
+// preset — the explicit one when -topology matches its socket count,
+// the synthesized symmetric crossbar otherwise — as indented JSON plus
+// its canonical encoding, for debugging what a run will actually route
+// over.
+func dumpTopology(preset string, divisor int, topology *topo.Topology, stdout, stderr io.Writer) int {
+	r := exp.NewRunner(exp.Options{Divisor: divisor, Topology: topology})
+	var cfg arch.Config
+	switch preset {
+	case "base":
+		cfg = r.Base(4)
+	case "traditional":
+		cfg = r.Traditional(4)
+	case "numa-aware":
+		cfg = r.NUMAAware(4)
+	case "monolithic":
+		cfg = r.Monolithic(4)
+	default:
+		fmt.Fprintf(stderr, "unknown preset %q (want base, traditional, numa-aware or monolithic)\n", preset)
+		return 2
+	}
+	if cfg.Sockets < 2 {
+		fmt.Fprintf(stdout, "%s: single-socket configuration, no inter-socket fabric\n", preset)
+		return 0
+	}
+	top := cfg.Topology
+	if top == nil {
+		top = topo.Crossbar(cfg.Sockets, cfg.LanesPerDir, cfg.LaneBandwidth, cfg.LinkLatency)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(top); err != nil {
+		fmt.Fprintf(stderr, "dump-topology: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "canonical: %s\n", top.Canonical())
 	return 0
 }
 

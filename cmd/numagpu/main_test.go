@@ -183,6 +183,74 @@ func TestRunRemoteUnreachable(t *testing.T) {
 	}
 }
 
+func TestRunTopologyValidate(t *testing.T) {
+	// The shipped example topologies must validate — CI loops every
+	// examples/*.json through this exact invocation.
+	for _, f := range []string{"asym-pairs.json", "crossbar-4.json"} {
+		path := filepath.Join("..", "..", "examples", f)
+		code, stdout, stderr := runCLI(t, "-topology", path, "-validate")
+		if code != 0 {
+			t.Fatalf("%s: exit %d, want 0 (stderr: %s)", f, code, stderr)
+		}
+		if !strings.Contains(stdout, "valid") || !strings.Contains(stdout, "canonical: n4.") {
+			t.Fatalf("%s: validate output missing verdict or canonical:\n%s", f, stdout)
+		}
+	}
+}
+
+func TestRunTopologyInvalid(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"sockets":[{},{}],"links":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-topology", bad, "-validate")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "topology:") {
+		t.Fatalf("stderr missing topology diagnostic:\n%s", stderr)
+	}
+	code, _, _ = runCLI(t, "-topology", filepath.Join(t.TempDir(), "nope.json"), "-validate")
+	if code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestRunValidateRequiresTopology(t *testing.T) {
+	code, _, stderr := runCLI(t, "-validate")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-validate requires -topology") {
+		t.Fatalf("stderr missing diagnostic:\n%s", stderr)
+	}
+}
+
+func TestRunDumpTopology(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-dump-topology", "base")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	// The synthesized crossbar: 4 socket links into one switch node.
+	if !strings.Contains(stdout, `"switches": 1`) || !strings.Contains(stdout, "canonical: n4.x1.") {
+		t.Fatalf("dump missing synthesized crossbar:\n%s", stdout)
+	}
+	// An explicit -topology flows through to matching presets.
+	code, stdout, _ = runCLI(t, "-topology", filepath.Join("..", "..", "examples", "asym-pairs.json"), "-dump-topology", "numa-aware")
+	if code != 0 || !strings.Contains(stdout, "canonical: n4.x0.") {
+		t.Fatalf("dump must show the explicit topology (exit %d):\n%s", code, stdout)
+	}
+	// Monolithic has no inter-socket fabric.
+	code, stdout, _ = runCLI(t, "-dump-topology", "monolithic")
+	if code != 0 || !strings.Contains(stdout, "no inter-socket fabric") {
+		t.Fatalf("monolithic dump (exit %d):\n%s", code, stdout)
+	}
+	code, _, stderr = runCLI(t, "-dump-topology", "nope")
+	if code != 2 || !strings.Contains(stderr, "unknown preset") {
+		t.Fatalf("unknown preset: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
 func TestRunCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	code, _, stderr := runCLI(t, "-csv", dir, "table2")

@@ -4,6 +4,8 @@
 // (Milic et al., MICRO 2017, Table 1).
 package arch
 
+import "repro/internal/topo"
+
 // Addr is a byte address in the single unified virtual address space
 // that spans all GPU sockets (the paper assumes NVIDIA UVA).
 type Addr uint64
@@ -210,6 +212,15 @@ type Config struct {
 	// Message overheads on the interconnect, bytes.
 	RequestHeader  int // read request / write ack message size
 	ResponseHeader int // header prepended to a 128B data response
+
+	// Topology optionally replaces the symmetric crossbar with an
+	// explicit fabric graph (per-socket resource overrides + weighted
+	// links, possibly via intermediate switches). Nil synthesizes the
+	// paper's crossbar from the link parameters above, reproducing the
+	// legacy event schedule exactly; non-nil must validate and have
+	// exactly Sockets socket entries. Omitted (zero) per-link values
+	// inherit LanesPerDir / LaneBandwidth / LinkLatency.
+	Topology *topo.Topology `json:",omitempty"`
 }
 
 // PaperConfig returns the 4-socket configuration of Table 1.
@@ -301,6 +312,7 @@ func (c Config) Monolithic(factor int) Config {
 	m.NoCBandwidth = c.NoCBandwidth * float64(factor)
 	m.DRAMBandwidth = c.DRAMBandwidth * float64(factor)
 	m.Placement = PlaceFirstTouch // irrelevant: every page is local
+	m.Topology = nil              // a fabric graph is meaningless with one socket
 	return m
 }
 
@@ -343,6 +355,14 @@ func (c Config) Validate() error {
 		return cfgError("bandwidths must be positive")
 	case c.LinkSampleTime < 1 || c.CacheSampleTime < 1:
 		return cfgError("sample times must be >= 1")
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+		if got := len(c.Topology.Sockets); got != c.Sockets {
+			return cfgError("Topology socket count does not match Sockets")
+		}
 	}
 	return nil
 }

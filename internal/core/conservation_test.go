@@ -21,8 +21,8 @@ func TestLinkByteConservation(t *testing.T) {
 	sys.Run(spec.Program(workload.Options{IterScale: 0.2, MaxCTAs: 64}))
 
 	var egress, ingress uint64
-	for i := 0; i < cfg.Sockets; i++ {
-		l := sys.Socket(i).Link()
+	for i := 0; i < sys.Fabric().NumLinks(); i++ {
+		l := sys.Fabric().LinkAt(i)
 		egress += l.Sent[xlink.Egress].Value()
 		ingress += l.Sent[xlink.Ingress].Value()
 	}

@@ -70,21 +70,67 @@ func NewSystem(cfg arch.Config) (*System, error) {
 	s := &System{
 		eng:   sim.New(),
 		cfg:   cfg,
-		mem:   vmm.New(cfg.Sockets, cfg.Placement),
+		mem:   vmm.NewWeighted(cfg.Sockets, cfg.Placement, socketWeights(cfg)),
 		drain: &gpu.Drain{},
 	}
 	if cfg.Sockets > 1 {
 		s.fabric = xlink.NewFabric(s.eng, cfg)
 	}
 	for i := 0; i < cfg.Sockets; i++ {
-		var link *xlink.Link
+		var port *xlink.Port
 		if s.fabric != nil {
-			link = s.fabric.Link(arch.SocketID(i))
+			port = s.fabric.Port(arch.SocketID(i))
 		}
-		sock := gpu.NewSocket(s.eng, cfg, arch.SocketID(i), s.mem, s, link, s.drain, s.onSocketDone)
+		sock := gpu.NewSocket(s.eng, socketConfig(cfg, i), arch.SocketID(i), s.mem, s, port, s.drain, s.onSocketDone)
 		s.sockets = append(s.sockets, sock)
 	}
 	return s, nil
+}
+
+// socketConfig applies socket i's topology resource overrides (SM
+// count, L2 capacity, DRAM) to the uniform configuration; with no
+// topology, or an empty spec, every socket sees cfg unchanged.
+func socketConfig(cfg arch.Config, i int) arch.Config {
+	if cfg.Topology == nil {
+		return cfg
+	}
+	sp := cfg.Topology.Sockets[i]
+	if sp.SMs > 0 {
+		cfg.SMsPerSocket = sp.SMs
+	}
+	if sp.L2Bytes > 0 {
+		cfg.L2Bytes = sp.L2Bytes
+	}
+	if sp.DRAMBandwidth > 0 {
+		cfg.DRAMBandwidth = sp.DRAMBandwidth
+	}
+	if sp.DRAMLatency > 0 {
+		cfg.DRAMLatency = sp.DRAMLatency
+	}
+	return cfg
+}
+
+// socketWeights extracts the interleave weights from the topology; nil
+// (uniform) when there is no topology or all weights are equal.
+func socketWeights(cfg arch.Config) []int {
+	if cfg.Topology == nil {
+		return nil
+	}
+	w := make([]int, cfg.Sockets)
+	uniform := true
+	for i, sp := range cfg.Topology.Sockets {
+		w[i] = sp.Weight
+		if w[i] == 0 {
+			w[i] = 1
+		}
+		if w[i] != w[0] {
+			uniform = false
+		}
+	}
+	if uniform {
+		return nil
+	}
+	return w
 }
 
 // MustSystem is NewSystem that panics on config errors; for examples
@@ -195,8 +241,11 @@ func (s *System) verifyQuiesced() {
 
 func (s *System) startPolicies() {
 	if s.fabric != nil && s.cfg.LinkMode == arch.LinkDynamic {
+		// One balancer per physical link: in the synthesized crossbar
+		// that is one per socket, in an explicit topology it includes
+		// switch-to-switch trunks.
 		for i := 0; i < s.fabric.NumLinks(); i++ {
-			b := xlink.NewBalancer(s.fabric.Link(arch.SocketID(i)), s.cfg.LinkSampleTime)
+			b := xlink.NewBalancer(s.fabric.LinkAt(i), s.cfg.LinkSampleTime)
 			b.Start(s.eng)
 			s.balancers = append(s.balancers, b)
 		}
@@ -245,7 +294,7 @@ func (s *System) launchNext() {
 		}
 		k := s.kernels[s.kernelIdx]
 		if s.fabric != nil {
-			s.fabric.ResetSymmetric(now)
+			s.fabric.ResetDesign(now)
 		}
 		for _, b := range s.balancers {
 			b.ResetState()
@@ -309,10 +358,13 @@ func (s *System) onSocketDone(arch.SocketID) {
 // Link profiling (Figure 5).
 // ---------------------------------------------------------------------
 
-// LinkProfile is the recorded utilization time series of one socket's
-// link, normalized to the symmetric per-direction capacity.
+// LinkProfile is the recorded utilization time series of one physical
+// link of the fabric, normalized to the design per-direction capacity.
+// In the synthesized crossbar, link i is socket i's port link; explicit
+// topologies may have more links than sockets (Label names each one).
 type LinkProfile struct {
-	Socket  arch.SocketID
+	Link    int
+	Label   string
 	Egress  stats.Series
 	Ingress stats.Series
 }
@@ -324,15 +376,17 @@ type linkProfiler struct {
 	prof   []LinkProfile
 }
 
-// EnableLinkProfile records per-window link utilization for every
-// socket (call before Run). window is the sampling period in cycles.
+// EnableLinkProfile records per-window utilization for every physical
+// link (call before Run). window is the sampling period in cycles.
 func (s *System) EnableLinkProfile(window int) {
 	if window < 1 {
 		window = 1
 	}
 	p := &linkProfiler{sys: s, window: sim.Time(window)}
-	for i := range s.sockets {
-		p.prof = append(p.prof, LinkProfile{Socket: arch.SocketID(i)})
+	if s.fabric != nil {
+		for i := 0; i < s.fabric.NumLinks(); i++ {
+			p.prof = append(p.prof, LinkProfile{Link: i, Label: s.fabric.LinkAt(i).Name()})
+		}
 	}
 	s.profiler = p
 }
@@ -342,11 +396,11 @@ func (p *linkProfiler) start(eng *sim.Engine) {
 		return
 	}
 	for i := range p.prof {
-		p.sys.fabric.Link(arch.SocketID(i)).ResetProfileWindow(eng.Now())
+		p.sys.fabric.LinkAt(i).ResetProfileWindow(eng.Now())
 	}
 	p.ticker = sim.NewTicker(eng, p.window, func(now sim.Time) {
 		for i := range p.prof {
-			l := p.sys.fabric.Link(arch.SocketID(i))
+			l := p.sys.fabric.LinkAt(i)
 			p.prof[i].Egress.Record(now, l.ProfileUtilization(xlink.Egress, now))
 			p.prof[i].Ingress.Record(now, l.ProfileUtilization(xlink.Ingress, now))
 			l.ResetProfileWindow(now)

@@ -48,13 +48,13 @@ func TestGatherPhaseAsymmetry(t *testing.T) {
 	cfg := arch.TestConfig()
 	sys := core.MustSystem(cfg)
 	sys.Run(spec.Program(workload.Options{IterScale: 0.3, MaxCTAs: 96}))
-	l0 := sys.Socket(0).Link()
+	l0 := sys.Fabric().LinkAt(0)
 	in0 := l0.Sent[xlink.Ingress].Value()
 	eg0 := l0.Sent[xlink.Egress].Value()
 	if in0 <= eg0 {
 		t.Fatalf("socket 0 should be a net receiver: ingress %d vs egress %d", in0, eg0)
 	}
-	l1 := sys.Socket(1).Link()
+	l1 := sys.Fabric().LinkAt(1)
 	if l1.Sent[xlink.Egress].Value() <= l1.Sent[xlink.Ingress].Value() {
 		t.Fatalf("socket 1 should be a net sender: egress %d vs ingress %d",
 			l1.Sent[xlink.Egress].Value(), l1.Sent[xlink.Ingress].Value())

@@ -96,7 +96,10 @@ func (s *System) collect(name string) Result {
 		remote += sock.LoadsRemote.Value() + sock.StoresRemote.Value()
 		r.DRAMBytes += sock.DRAM().Bytes.Total()
 		r.FlushLines += sock.FlushedLines.Value()
-		if link := sock.Link(); link != nil {
+	}
+	if s.fabric != nil {
+		for i := 0; i < s.fabric.NumLinks(); i++ {
+			link := s.fabric.LinkAt(i)
 			r.LaneTurns += link.Turns.Value()
 			r.LinkBytes += link.Sent[xlink.Egress].Value() + link.Sent[xlink.Ingress].Value()
 		}

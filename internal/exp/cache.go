@@ -79,7 +79,10 @@ func (r *Runner) Stats() Stats {
 // Schema 2: Socket.remoteRead charges the L2 access latency on merged
 // MSHR waiters symmetrically with the primary requester (timing fix;
 // cycle counts shift slightly in the cached-remote modes).
-const cacheSchema = 2
+// Schema 3: the fabric routes over an explicit topology graph and the
+// key gains the canonical topology encoding; nil-topology results are
+// unchanged but daemons may mix binaries, so the namespace rolls.
+const cacheSchema = 3
 
 // RunKey returns the content address of one (config, workload) run
 // under this Runner's options: a schema version, every field of the
@@ -103,13 +106,21 @@ func (r *Runner) RunKey(cfg arch.Config, spec workload.Spec) string {
 // differ across divisors, hand-built configs, or future PaperConfig
 // revisions. Together cfgKey + machineKey cover every Config field.
 func machineKey(c arch.Config) string {
-	return fmt.Sprintf("w%d.cta%d.iw%d.l1_%d/%d/%d.l2_%d/%d/%d.noc%g/%d.dl%d.ll%d.sl%d.hdr%d/%d",
+	k := fmt.Sprintf("w%d.cta%d.iw%d.l1_%d/%d/%d.l2_%d/%d/%d.noc%g/%d.dl%d.ll%d.sl%d.hdr%d/%d",
 		c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.IssueWidth,
 		c.L1Bytes, c.L1Assoc, c.L1Latency,
 		c.L2Assoc, c.L2Banks, c.L2Latency,
 		c.NoCBandwidth, c.NoCLatency, c.DRAMLatency,
 		c.LinkLatency, c.SwitchLatency,
 		c.RequestHeader, c.ResponseHeader)
+	if c.Topology != nil {
+		// The canonical encoding covers every topology field, including
+		// link order (it breaks routing ties). Nil encodes as nothing:
+		// the synthesized crossbar is fully determined by the fields
+		// above.
+		k += ".topo[" + c.Topology.Canonical() + "]"
+	}
+	return k
 }
 
 // counters holds the Runner's atomic run accounting; embedded so the

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/topo"
 )
 
 // mapCache is an in-memory exp.Cache with call accounting.
@@ -136,6 +137,11 @@ func TestRunKeyCoversEveryConfigField(t *testing.T) {
 			f.SetFloat(f.Float() + 1)
 		case reflect.Bool:
 			f.SetBool(!f.Bool())
+		case reflect.Ptr:
+			if rt.Field(i).Name != "Topology" {
+				t.Fatalf("unhandled pointer Config field %s: extend this test", rt.Field(i).Name)
+			}
+			f.Set(reflect.ValueOf(topo.Crossbar(base.Sockets, base.LanesPerDir, base.LaneBandwidth, base.LinkLatency)))
 		default:
 			t.Fatalf("unhandled Config field kind %s (%s): extend this test", f.Kind(), rt.Field(i).Name)
 		}

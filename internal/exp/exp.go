@@ -23,6 +23,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// simulation; any other backend error fails the run exactly like a
 	// local simulation panic. See the Backend interface.
 	Backend Backend
+	// Topology, when non-nil, replaces the symmetric crossbar of every
+	// config whose socket count matches len(Topology.Sockets); configs
+	// with other socket counts (monolithic references, cross-socket
+	// scaling sweeps) keep the synthesized crossbar.
+	Topology *topo.Topology
 }
 
 // DefaultOptions is the reference harness size (minutes for the full
@@ -144,6 +150,9 @@ func (r *Runner) Base(sockets int) arch.Config {
 	c.Placement = arch.PlaceFirstTouch
 	c.CacheMode = arch.CacheMemSideLocal
 	c.LinkMode = arch.LinkStatic
+	if t := r.opts.Topology; t != nil && len(t.Sockets) == sockets {
+		c.Topology = t
+	}
 	return c
 }
 

@@ -112,8 +112,20 @@ func Figure5(r *Runner) Result {
 	res := sys.Run(spec.Program(r.opts.workloadOptions()))
 	profiles, marks := sys.LinkProfiles()
 
+	// One E/I column pair per physical link. On the synthesized
+	// crossbar link i is socket i's port (the paper's per-GPU view);
+	// an explicit topology labels columns by link name instead.
+	cols := []string{"Window@cycle"}
+	for i, p := range profiles {
+		name := fmt.Sprintf("GPU%d", i)
+		if cfg.Topology != nil {
+			name = p.Label
+		}
+		cols = append(cols, name+" E", name+" I")
+	}
+	cols = append(cols, "kernel")
 	t := stats.NewTable("Figure 5: link utilization profile, HPC-HPGMG-UVM (locality-optimized 4-socket)",
-		"Window@cycle", "GPU0 E", "GPU0 I", "GPU1 E", "GPU1 I", "GPU2 E", "GPU2 I", "GPU3 E", "GPU3 I", "kernel")
+		cols...)
 	n := len(profiles[0].Egress.Samples)
 	mark := 0
 	// Summaries: how asymmetric is each GPU's link use, and how
@@ -132,7 +144,7 @@ func Figure5(r *Runner) Result {
 			mark++
 		}
 		cells := []any{fmt.Sprintf("%d", at)}
-		for g := 0; g < 4; g++ {
+		for g := range profiles {
 			e := profiles[g].Egress.Samples[i].Value
 			in := profiles[g].Ingress.Samples[i].Value
 			cells = append(cells, e, in)

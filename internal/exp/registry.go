@@ -29,6 +29,7 @@ var registry = []Experiment{
 	{"power", "interconnect power (Sec 6)", Power},
 	{"lanegran", "lane granularity ablation", LaneGranularity},
 	{"tenancy", "small workloads on partitioned GPUs (Sec 6)", MultiTenancy},
+	{"asymfabric", "policies on an asymmetric two-pair fabric", AsymFabric},
 }
 
 // Experiments lists every experiment in presentation order. The

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/topo"
+)
+
+// TestExplicitCrossbarByteIdentity renders fig3 and fig8 twice — once
+// on the default nil topology and once with the equivalent crossbar
+// supplied explicitly as data — and requires byte-identical output:
+// the topology-routed fabric reproduces the legacy event schedule
+// exactly. (The 15 committed golden fixtures pin the nil-topology side
+// against the pre-topology simulator.)
+func TestExplicitCrossbarByteIdentity(t *testing.T) {
+	legacy := quickRunner()
+	c := arch.ScaledConfig(legacy.Options().Divisor)
+	explicit := legacy.Options()
+	explicit.Topology = topo.Crossbar(4, c.LanesPerDir, c.LaneBandwidth, c.LinkLatency)
+	withTopo := NewRunner(explicit)
+
+	if k := legacy.RunKey(legacy.Base(4), legacy.opts.Workloads[0]); k == withTopo.RunKey(withTopo.Base(4), withTopo.opts.Workloads[0]) {
+		t.Fatal("explicit topology must partition the cache namespace even when results match")
+	}
+
+	for _, name := range []string{"fig3", "fig8"} {
+		e, ok := ExperimentByName(name)
+		if !ok {
+			t.Fatalf("experiment %s missing", name)
+		}
+		a := RenderGolden(e.Run(legacy))
+		b := RenderGolden(e.Run(withTopo))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s diverges under an explicit crossbar topology:\n--- nil ---\n%s\n--- explicit ---\n%s",
+				name, firstDiffWindow(a, b), firstDiffWindow(b, a))
+		}
+	}
+}
+
+// TestBaseAttachesMatchingTopology: Options.Topology applies only to
+// configs whose socket count matches, so monolithic references and
+// cross-socket sweeps keep the synthesized crossbar.
+func TestBaseAttachesMatchingTopology(t *testing.T) {
+	o := tinyOptions()
+	o.Topology = topo.Crossbar(4, 8, 1, 128)
+	r := NewRunner(o)
+	if r.Base(4).Topology == nil {
+		t.Fatal("4-socket config must carry the 4-socket topology")
+	}
+	if r.Base(2).Topology != nil {
+		t.Fatal("2-socket config must not carry a 4-socket topology")
+	}
+	if r.Monolithic(4).Topology != nil {
+		t.Fatal("monolithic config must clear the topology")
+	}
+	if err := r.Base(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsymPairsTopologyValid pins the experiment family's reference
+// fabric: valid, bridged, and genuinely multi-hop.
+func TestAsymPairsTopologyValid(t *testing.T) {
+	top := AsymPairsTopology(arch.ScaledConfig(8))
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.ScaledConfig(8)
+	cfg.Topology = top
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if top.Canonical() == AsymPairsTopology(arch.ScaledConfig(16)).Canonical() {
+		t.Fatal("divisor-scaled fabrics must have distinct canonical encodings")
+	}
+}

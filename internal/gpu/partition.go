@@ -69,7 +69,7 @@ func (p *PartitionController) Step(now sim.Time) {
 		s.remoteReqs.Reset(now)
 		s.remoteResp.Reset(now)
 	}()
-	if s.link == nil || s.cfg.CacheMode != arch.CacheNUMAAware {
+	if s.port == nil || s.cfg.CacheMode != arch.CacheNUMAAware {
 		return
 	}
 	// Estimated incoming bandwidth: outgoing read requests × response
@@ -80,8 +80,9 @@ func (p *PartitionController) Step(now sim.Time) {
 	// size; when a standing backlog is draining, arriving responses are
 	// the better signal, so take the larger of the two. Incoming writes
 	// from other sockets are deliberately excluded (Section 5.1).
-	inUtil := s.remoteReqs.Utilization(now, s.link.Bandwidth(xlink.Ingress))
-	if resp := s.remoteResp.Utilization(now, s.link.Bandwidth(xlink.Ingress)); resp > inUtil {
+	inBW := s.port.IngressBandwidth()
+	inUtil := s.remoteReqs.Utilization(now, inBW)
+	if resp := s.remoteResp.Utilization(now, inBW); resp > inUtil {
 		inUtil = resp
 	}
 	dramUtil := s.dram.Utilization(now)

@@ -43,7 +43,7 @@ type Socket struct {
 	memMap *vmm.Memory
 	remote Remote
 	drain  *Drain
-	link   *xlink.Link // nil on monolithic single-GPU systems
+	port   *xlink.Port // nil on monolithic single-GPU systems
 
 	SMs  []*smcore.SM
 	l1s  []*mem.Cache
@@ -115,9 +115,9 @@ type Socket struct {
 }
 
 // NewSocket builds socket id of a system described by cfg. remote may
-// be nil only for single-socket systems. link is the socket's port into
-// the switch fabric (nil when Sockets == 1).
-func NewSocket(eng *sim.Engine, cfg arch.Config, id arch.SocketID, memMap *vmm.Memory, remote Remote, link *xlink.Link, drain *Drain, onAllDone func(arch.SocketID)) *Socket {
+// be nil only for single-socket systems. port is the socket's
+// attachment point into the fabric (nil when Sockets == 1).
+func NewSocket(eng *sim.Engine, cfg arch.Config, id arch.SocketID, memMap *vmm.Memory, remote Remote, port *xlink.Port, drain *Drain, onAllDone func(arch.SocketID)) *Socket {
 	s := &Socket{
 		eng:       eng,
 		cfg:       cfg,
@@ -125,7 +125,7 @@ func NewSocket(eng *sim.Engine, cfg arch.Config, id arch.SocketID, memMap *vmm.M
 		memMap:    memMap,
 		remote:    remote,
 		drain:     drain,
-		link:      link,
+		port:      port,
 		xbar:      noc.New(eng, cfg.NoCBandwidth, cfg.NoCLatency),
 		l2:        mem.NewCache(cfg.L2Bytes, cfg.L2Assoc),
 		dram:      mem.NewDRAM(eng, cfg.DRAMBandwidth, cfg.DRAMLatency),
@@ -198,8 +198,8 @@ func (s *Socket) L1(sm int) *mem.Cache { return s.l1s[sm] }
 // DRAM exposes the local memory.
 func (s *Socket) DRAM() *mem.DRAM { return s.dram }
 
-// Link exposes the socket's inter-GPU link (nil for single socket).
-func (s *Socket) Link() *xlink.Link { return s.link }
+// Port exposes the socket's fabric attachment (nil for single socket).
+func (s *Socket) Port() *xlink.Port { return s.port }
 
 // Crossbar exposes the intra-GPU NoC.
 func (s *Socket) Crossbar() *noc.Crossbar { return s.xbar }

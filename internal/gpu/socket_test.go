@@ -93,7 +93,7 @@ func newHarness(t *testing.T, mode arch.CacheMode) *harness {
 	remote := &fakeRemote{eng: eng}
 	drain := &Drain{}
 	link := xlink.NewLink(eng, cfg.LanesPerDir, cfg.LaneBandwidth, cfg.LinkLatency, cfg.LaneSwitchTime)
-	sock := NewSocket(eng, cfg, 0, memMap, remote, link, drain, func(arch.SocketID) {})
+	sock := NewSocket(eng, cfg, 0, memMap, remote, xlink.PortOf(link), drain, func(arch.SocketID) {})
 	h := &harness{eng: eng, cfg: cfg, memMap: memMap, remote: remote, drain: drain, sock: sock}
 	sock.onLoadDone = func(sm, slot int) { h.loads++ }
 	return h
@@ -595,7 +595,7 @@ func TestDebugAccessors(t *testing.T) {
 	if q != 0 || res != 0 {
 		t.Fatal("fresh socket has CTAs")
 	}
-	if h.sock.Crossbar() == nil || h.sock.Link() == nil || h.sock.ID() != 0 {
+	if h.sock.Crossbar() == nil || h.sock.Port() == nil || h.sock.ID() != 0 {
 		t.Fatal("accessors broken")
 	}
 	if h.sock.RemoteReqWindow() == nil || h.sock.RemoteRespWindow() == nil {

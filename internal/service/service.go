@@ -53,6 +53,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -489,6 +490,12 @@ type SweepRequest struct {
 	// Workloads lists Table 2 workload names; empty means the server's
 	// full configured workload set.
 	Workloads []string `json:"workloads,omitempty"`
+	// Topology, when present, replaces the synthesized symmetric
+	// crossbar with an explicit link graph (see docs/TOPOLOGY.md). Its
+	// socket count must match Sockets; invalid topologies are rejected
+	// with 400. Ignored for the "monolithic" preset, which has no
+	// inter-socket fabric.
+	Topology *topo.Topology `json:"topology,omitempty"`
 
 	// Optional overrides applied on top of the preset.
 	CacheMode      string `json:"cache_mode,omitempty"` // mem-side-local | static-partition | shared-coherent | numa-aware
@@ -552,6 +559,9 @@ func (s *Server) sweepPlan(req *SweepRequest) (arch.Config, []workload.Spec, err
 	}
 	if req.L2WriteThrough {
 		cfg.L2WriteThrough = true
+	}
+	if req.Topology != nil && req.Preset != "monolithic" {
+		cfg.Topology = req.Topology
 	}
 	if err := cfg.Validate(); err != nil {
 		return arch.Config{}, nil, err

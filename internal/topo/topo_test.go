@@ -1,0 +1,140 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSocket() *Topology {
+	return &Topology{
+		Sockets: make([]SocketSpec, 2),
+		Links:   []LinkSpec{{A: 0, B: 1, LanesAB: 4, LanesBA: 4, LaneBandwidth: 1, LatencyAB: 10, LatencyBA: 10}},
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	if err := twoSocket().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	one := &Topology{Sockets: make([]SocketSpec, 1)}
+	if err := one.Validate(); err != nil {
+		t.Fatalf("single socket with no links must validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Topology)
+		want string
+	}{
+		{"no sockets", func(t *Topology) { t.Sockets = nil }, "at least one socket"},
+		{"negative switches", func(t *Topology) { t.Switches = -1 }, "Switches"},
+		{"endpoint range", func(t *Topology) { t.Links[0].B = 7 }, "out of range"},
+		{"self loop", func(t *Topology) { t.Links[0].B = 0 }, "self-loop"},
+		{"duplicate", func(t *Topology) { t.Links = append(t.Links, LinkSpec{A: 1, B: 0}) }, "duplicate"},
+		{"negative lanes", func(t *Topology) { t.Links[0].LanesAB = -1 }, ">= 0"},
+		{"negative weight", func(t *Topology) { t.Sockets[0].Weight = -2 }, ">= 0"},
+		{"no links", func(t *Topology) { t.Links = nil }, "no links"},
+		{"disconnected", func(t *Topology) { t.Switches = 1 }, "unreachable"},
+	}
+	for _, tc := range cases {
+		top := twoSocket()
+		tc.mut(top)
+		err := top.Validate()
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCanonicalDeterministicAndDistinct(t *testing.T) {
+	a := twoSocket()
+	if a.Canonical() != twoSocket().Canonical() {
+		t.Fatal("canonical encoding must be deterministic")
+	}
+	b := twoSocket()
+	b.Links[0].LanesBA = 5
+	if a.Canonical() == b.Canonical() {
+		t.Fatal("lane change must change the canonical encoding")
+	}
+	c := twoSocket()
+	c.Sockets[1].Weight = 3
+	if a.Canonical() == c.Canonical() {
+		t.Fatal("socket spec change must change the canonical encoding")
+	}
+	// Link order is routing-significant and must be encoded.
+	d := &Topology{
+		Sockets: make([]SocketSpec, 3),
+		Links: []LinkSpec{
+			{A: 0, B: 1, LatencyAB: 1, LatencyBA: 1},
+			{A: 1, B: 2, LatencyAB: 1, LatencyBA: 1},
+		},
+	}
+	e := &Topology{
+		Sockets: make([]SocketSpec, 3),
+		Links: []LinkSpec{
+			{A: 1, B: 2, LatencyAB: 1, LatencyBA: 1},
+			{A: 0, B: 1, LatencyAB: 1, LatencyBA: 1},
+		},
+	}
+	if d.Canonical() == e.Canonical() {
+		t.Fatal("link order must be part of the canonical encoding")
+	}
+}
+
+func TestParse(t *testing.T) {
+	good := `{"sockets":[{},{}],"links":[{"a":0,"b":1,"lanes_ab":4,"lanes_ba":4,"lane_bandwidth":1,"latency_ab":10,"latency_ba":10}]}`
+	top, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Nodes() != 2 || len(top.Links) != 1 {
+		t.Fatalf("parsed shape wrong: %+v", top)
+	}
+
+	if _, err := Parse([]byte(`{"sockets":[{},{}],"links":[{"a":0,"b":1,"lanez":4}]}`)); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+	if _, err := Parse([]byte(`{"sockets":[{},{}],"links":[]}`)); err == nil {
+		t.Fatal("invalid topology must be rejected at parse")
+	}
+	if _, err := Parse([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}
+
+func TestCrossbarShape(t *testing.T) {
+	x := Crossbar(4, 8, 2, 128)
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Nodes() != 5 || x.Switches != 1 || len(x.Links) != 4 {
+		t.Fatalf("crossbar shape wrong: %+v", x)
+	}
+	for i, l := range x.Links {
+		if l.A != i || l.B != 4 {
+			t.Fatalf("link %d endpoints %d-%d, want %d-4", i, l.A, l.B, i)
+		}
+		if l.LatencyAB+l.LatencyBA != 128 {
+			t.Fatalf("link %d latency halves sum to %d, want 128", i, l.LatencyAB+l.LatencyBA)
+		}
+		if l.HopsAB != 1 || l.HopsBA != 0 {
+			t.Fatalf("link %d hop charge %d/%d, want 1/0", i, l.HopsAB, l.HopsBA)
+		}
+	}
+	// Odd latency: the split must cover every cycle exactly once.
+	odd := Crossbar(2, 8, 2, 127)
+	if l := odd.Links[0]; l.LatencyAB+l.LatencyBA != 127 {
+		t.Fatalf("odd latency split %d+%d != 127", l.LatencyAB, l.LatencyBA)
+	}
+	if got := x.NodeName(0); got != "s0" {
+		t.Fatalf("NodeName(0) = %q", got)
+	}
+	if got := x.NodeName(4); got != "x0" {
+		t.Fatalf("NodeName(4) = %q", got)
+	}
+}

@@ -17,6 +17,13 @@ type Memory struct {
 	policy  arch.MemPlacement
 	pages   pageTable
 
+	// schedule is the weighted interleave round: a socket of weight w
+	// appears w times, round-major (one slot per socket with remaining
+	// weight per pass), so low-weight sockets still receive early slots.
+	// Nil means uniform, in which case the interleave policies reduce to
+	// the plain `unit % sockets` of the paper.
+	schedule []arch.SocketID
+
 	// Migrations counts first-touch placements (page migrations from
 	// system memory into a GPU's local memory).
 	Migrations stats.Counter
@@ -25,11 +32,57 @@ type Memory struct {
 // New builds a memory map for a system with the given socket count and
 // placement policy.
 func New(sockets int, policy arch.MemPlacement) *Memory {
+	return NewWeighted(sockets, policy, nil)
+}
+
+// NewWeighted is New with per-socket interleave weights taken from the
+// system topology: a socket of weight w receives w of every
+// sum(weights) interleave units (and pages, and preplaced-interleave
+// pages). weights may be nil or all-equal for the uniform behaviour;
+// otherwise len(weights) must equal sockets and every weight must be
+// >= 1.
+func NewWeighted(sockets int, policy arch.MemPlacement, weights []int) *Memory {
 	m := &Memory{sockets: sockets, policy: policy}
 	if policy == arch.PlaceFirstTouch {
 		m.pages.init(1 << 12)
 	}
+	if weights != nil {
+		if len(weights) != sockets {
+			panic("vmm: len(weights) != sockets")
+		}
+		uniform := true
+		maxW := 0
+		for _, w := range weights {
+			if w < 1 {
+				panic("vmm: interleave weights must be >= 1")
+			}
+			if w != weights[0] {
+				uniform = false
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if !uniform {
+			for pass := 0; pass < maxW; pass++ {
+				for s, w := range weights {
+					if w > pass {
+						m.schedule = append(m.schedule, arch.SocketID(s))
+					}
+				}
+			}
+		}
+	}
 	return m
+}
+
+// interleave maps interleave unit u (a 256B group, a page, ...) to its
+// socket under the weighted schedule.
+func (m *Memory) interleave(u uint64) arch.SocketID {
+	if m.schedule == nil {
+		return arch.SocketID(u % uint64(m.sockets))
+	}
+	return m.schedule[u%uint64(len(m.schedule))]
 }
 
 // Sockets reports the socket count.
@@ -49,10 +102,9 @@ func (m *Memory) Owner(l arch.LineID, requester arch.SocketID) arch.SocketID {
 	}
 	switch m.policy {
 	case arch.PlaceFineInterleave:
-		unit := uint64(l.Addr()) / arch.FineInterleaveGranularity
-		return arch.SocketID(unit % uint64(m.sockets))
+		return m.interleave(uint64(l.Addr()) / arch.FineInterleaveGranularity)
 	case arch.PlacePageInterleave:
-		return arch.SocketID(uint64(arch.PageOfLine(l)) % uint64(m.sockets))
+		return m.interleave(uint64(arch.PageOfLine(l)))
 	default: // PlaceFirstTouch
 		p := arch.PageOfLine(l)
 		if s, ok := m.pages.get(p); ok {
@@ -72,10 +124,9 @@ func (m *Memory) Peek(l arch.LineID) (arch.SocketID, bool) {
 	}
 	switch m.policy {
 	case arch.PlaceFineInterleave:
-		unit := uint64(l.Addr()) / arch.FineInterleaveGranularity
-		return arch.SocketID(unit % uint64(m.sockets)), true
+		return m.interleave(uint64(l.Addr()) / arch.FineInterleaveGranularity), true
 	case arch.PlacePageInterleave:
-		return arch.SocketID(uint64(arch.PageOfLine(l)) % uint64(m.sockets)), true
+		return m.interleave(uint64(arch.PageOfLine(l))), true
 	default:
 		return m.pages.get(arch.PageOfLine(l))
 	}
@@ -106,7 +157,7 @@ func (m *Memory) PreplaceInterleave(start arch.Addr, size int64) {
 	first := arch.PageOf(start)
 	last := arch.PageOf(start + arch.Addr(size-1))
 	for p := first; p <= last; p++ {
-		m.pages.put(p, arch.SocketID(uint64(p-first)%uint64(m.sockets)))
+		m.pages.put(p, m.interleave(uint64(p-first)))
 	}
 }
 

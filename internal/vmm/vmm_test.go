@@ -247,3 +247,56 @@ func TestPropertyInterleaveDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWeightedInterleave: a socket of weight w receives w of every
+// sum(weights) interleave units, and uniform weights reduce to the
+// legacy round-robin exactly.
+func TestWeightedInterleave(t *testing.T) {
+	m := NewWeighted(3, arch.PlacePageInterleave, []int{2, 1, 1})
+	counts := make(map[arch.SocketID]int)
+	const pages = 4000 // 1000 rounds of the 4-slot schedule
+	for p := 0; p < pages; p++ {
+		l := arch.LineID(arch.PageID(p) << (arch.PageShift - arch.LineShift))
+		counts[m.Owner(l, 0)]++
+	}
+	if counts[0] != 2000 || counts[1] != 1000 || counts[2] != 1000 {
+		t.Fatalf("weighted distribution %v, want 2000/1000/1000", counts)
+	}
+
+	// Round-major: socket 1's first slot arrives in the first pass, not
+	// after all of socket 0's.
+	first := make(map[arch.SocketID]bool)
+	var order []arch.SocketID
+	for p := 0; p < 4; p++ {
+		l := arch.LineID(arch.PageID(p) << (arch.PageShift - arch.LineShift))
+		s := m.Owner(l, 0)
+		if !first[s] {
+			first[s] = true
+			order = append(order, s)
+		}
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("first-slot order %v, want [0 1 2]", order)
+	}
+
+	// Uniform weights must match the unweighted policy on every unit.
+	u := NewWeighted(4, arch.PlaceFineInterleave, []int{3, 3, 3, 3})
+	plain := New(4, arch.PlaceFineInterleave)
+	for a := arch.Addr(0); a < 1<<14; a += 64 {
+		l := arch.LineOf(a)
+		if u.Owner(l, 0) != plain.Owner(l, 0) {
+			t.Fatalf("uniform weights diverge from legacy interleave at %#x", a)
+		}
+	}
+}
+
+// TestWeightedPreplaceInterleave: preplaced striping follows the same
+// weighted schedule as the interleave policies.
+func TestWeightedPreplaceInterleave(t *testing.T) {
+	m := NewWeighted(2, arch.PlaceFirstTouch, []int{3, 1})
+	m.PreplaceInterleave(0, 8*arch.PageSize)
+	dist := m.DistributionOf()
+	if dist[0] != 0.75 || dist[1] != 0.25 {
+		t.Fatalf("preplaced distribution %v, want [0.75 0.25]", dist)
+	}
+}

@@ -109,7 +109,7 @@ func TestBalancerResetState(t *testing.T) {
 		ck.drive(eng, l, b, 8000, 100)
 	}
 	b.ResetState()
-	l.ResetSymmetric()
+	l.ResetDesign()
 	// After reset, one asymmetric window must not trigger (seeding
 	// again + persistence).
 	ck.drive(eng, l, b, 8000, 100)

@@ -3,51 +3,327 @@ package xlink
 import (
 	"repro/internal/arch"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
-// Fabric is the switched interconnect connecting every GPU socket: one
-// Link per socket plus a non-blocking switch. The paper's switch keeps
-// total bandwidth constant; the per-port links are the bottleneck, so
-// the switch contributes only latency.
+// Fabric is the inter-socket interconnect, modelled as a graph of
+// physical links between sockets and switch nodes. Messages follow
+// precomputed deterministic shortest paths, paying each traversed
+// link's serialization + wire latency and each switch hop's latency.
+//
+// A nil Config.Topology synthesizes the paper's symmetric crossbar as
+// an explicit star (topo.Crossbar), whose per-message event schedule is
+// byte-identical to the pre-topology hard-wired fabric. The paper's
+// switch keeps total bandwidth constant; the per-port links are the
+// bottleneck, so switch nodes contribute only latency.
 type Fabric struct {
 	eng       *sim.Engine
-	links     []*Link
+	top       *topo.Topology
 	switchLat sim.Time
+
+	links []*Link // one per topology link, in topology order
+	ports []Port  // one per socket: its incident links
+	paths [][][]pathHop
+
+	// Pooled route walker: in-flight messages live in recs, indexed by
+	// the arg threaded through the two long-lived ArgEvents, so the
+	// steady-state datapath allocates nothing per message.
+	recs   []routeRec
+	freeRl []int
+	hopEv  sim.ArgEvent
+	stepEv sim.ArgEvent
 }
 
-// NewFabric builds the fabric for a system described by cfg.
+// pathHop is one precomputed traversal: a physical link, the direction
+// to cross it in, and the switch latency charged after delivery at the
+// far end (hops × Config.SwitchLatency).
+type pathHop struct {
+	link *Link
+	dir  Direction
+	post sim.Time
+}
+
+// routeRec is one in-flight routed message.
+type routeRec struct {
+	path   []pathHop
+	pos    int
+	size   int
+	doneEv sim.Event
+	doneFn func()
+}
+
+// NewFabric builds the fabric for a system described by cfg. It panics
+// on an invalid or mismatched topology; arch.Config.Validate rejects
+// those earlier on every external input path.
 func NewFabric(eng *sim.Engine, cfg arch.Config) *Fabric {
-	f := &Fabric{eng: eng, switchLat: sim.Time(cfg.SwitchLatency)}
-	for i := 0; i < cfg.Sockets; i++ {
-		f.links = append(f.links, NewLink(eng, cfg.LanesPerDir, cfg.LaneBandwidth, cfg.LinkLatency, cfg.LaneSwitchTime))
+	t := cfg.Topology
+	synthesized := t == nil
+	if synthesized {
+		t = topo.Crossbar(cfg.Sockets, cfg.LanesPerDir, cfg.LaneBandwidth, cfg.LinkLatency)
+	} else if err := t.Validate(); err != nil {
+		panic(err)
+	} else if len(t.Sockets) != cfg.Sockets {
+		panic("xlink: topology socket count does not match Config.Sockets")
 	}
+	f := &Fabric{eng: eng, top: t, switchLat: sim.Time(cfg.SwitchLatency)}
+	f.hopEv = f.hopDone
+	f.stepEv = f.step
+
+	for _, ls := range t.Links {
+		lanesAB, lanesBA := ls.LanesAB, ls.LanesBA
+		laneBW := ls.LaneBandwidth
+		latAB, latBA := ls.LatencyAB, ls.LatencyBA
+		if !synthesized {
+			// User-supplied topologies inherit Config defaults for
+			// omitted (zero) fields. The synthesized crossbar is taken
+			// verbatim: its latency halves are exact, including a zero
+			// half when LinkLatency is odd and small.
+			if lanesAB == 0 {
+				lanesAB = cfg.LanesPerDir
+			}
+			if lanesBA == 0 {
+				lanesBA = cfg.LanesPerDir
+			}
+			if laneBW == 0 {
+				laneBW = cfg.LaneBandwidth
+			}
+			if latAB == 0 {
+				latAB = cfg.LinkLatency
+			}
+			if latBA == 0 {
+				latBA = cfg.LinkLatency
+			}
+		}
+		l := NewLinkAsym(eng, lanesAB, lanesBA, laneBW, latAB, latBA, cfg.LaneSwitchTime)
+		l.name = t.NodeName(ls.A) + "-" + t.NodeName(ls.B)
+		f.links = append(f.links, l)
+	}
+
+	f.buildPorts()
+	f.buildPaths()
 	return f
 }
 
-// Link returns socket s's link.
-func (f *Fabric) Link(s arch.SocketID) *Link { return f.links[s] }
+// Port is a socket's attachment point to the fabric: the set of
+// incident physical links with their inbound direction, from which the
+// cache policies read the socket's aggregate ingress capacity.
+type Port struct {
+	links []*Link
+	inDir []Direction
+}
 
-// NumLinks reports the socket/link count.
+// IngressBandwidth reports the socket's current total inbound capacity
+// in bytes/cycle across all incident links.
+func (p *Port) IngressBandwidth() float64 {
+	var bw float64
+	for i, l := range p.links {
+		bw += l.Bandwidth(p.inDir[i])
+	}
+	return bw
+}
+
+// PortOf wraps a single directly-constructed link as a socket port with
+// the link's Ingress direction inbound; unit tests use it to drive a
+// Socket without a full fabric.
+func PortOf(l *Link) *Port {
+	return &Port{links: []*Link{l}, inDir: []Direction{Ingress}}
+}
+
+func (f *Fabric) buildPorts() {
+	f.ports = make([]Port, len(f.top.Sockets))
+	for li, ls := range f.top.Links {
+		if ls.A < len(f.ports) {
+			p := &f.ports[ls.A]
+			p.links = append(p.links, f.links[li])
+			p.inDir = append(p.inDir, Ingress) // B→A arrives at A
+		}
+		if ls.B < len(f.ports) {
+			p := &f.ports[ls.B]
+			p.links = append(p.links, f.links[li])
+			p.inDir = append(p.inDir, Egress) // A→B arrives at B
+		}
+	}
+}
+
+// buildPaths precomputes the route from every socket to every socket
+// with a deterministic Dijkstra: edge weight is the traversal latency
+// plus its switch-hop charge; ties break toward fewer edges, then
+// toward the path settled first (nodes are settled in (cost, edges, id)
+// order, so equal-cost routes prefer lower-numbered nodes). Link order
+// in the topology fixes the adjacency scan order, which is why it is
+// part of the canonical encoding.
+func (f *Fabric) buildPaths() {
+	n := f.top.Nodes()
+	sockets := len(f.top.Sockets)
+
+	type dirEdge struct {
+		to   int
+		link *Link
+		dir  Direction
+		cost sim.Time
+		post sim.Time
+	}
+	adj := make([][]dirEdge, n)
+	for li, ls := range f.top.Links {
+		l := f.links[li]
+		postAB := sim.Time(ls.HopsAB) * f.switchLat
+		postBA := sim.Time(ls.HopsBA) * f.switchLat
+		adj[ls.A] = append(adj[ls.A], dirEdge{
+			to: ls.B, link: l, dir: Egress,
+			cost: l.srv[Egress].Latency() + postAB, post: postAB,
+		})
+		adj[ls.B] = append(adj[ls.B], dirEdge{
+			to: ls.A, link: l, dir: Ingress,
+			cost: l.srv[Ingress].Latency() + postBA, post: postBA,
+		})
+	}
+
+	f.paths = make([][][]pathHop, sockets)
+	const inf = sim.Time(1) << 62
+	for src := 0; src < sockets; src++ {
+		dist := make([]sim.Time, n)
+		edges := make([]int, n)
+		pred := make([]dirEdge, n)
+		hasPred := make([]bool, n)
+		done := make([]bool, n)
+		for v := range dist {
+			dist[v] = inf
+		}
+		dist[src] = 0
+		for {
+			u := -1
+			for v := 0; v < n; v++ {
+				if done[v] || dist[v] == inf {
+					continue
+				}
+				if u == -1 || dist[v] < dist[u] || (dist[v] == dist[u] && edges[v] < edges[u]) {
+					u = v
+				}
+			}
+			if u == -1 {
+				break
+			}
+			done[u] = true
+			for _, e := range adj[u] {
+				nc, ne := dist[u]+e.cost, edges[u]+1
+				if nc < dist[e.to] || (nc == dist[e.to] && ne < edges[e.to]) {
+					dist[e.to] = nc
+					edges[e.to] = ne
+					pred[e.to] = e
+					pred[e.to].to = u // repurpose: predecessor node
+					hasPred[e.to] = true
+				}
+			}
+		}
+		f.paths[src] = make([][]pathHop, sockets)
+		for dst := 0; dst < sockets; dst++ {
+			if dst == src {
+				continue
+			}
+			var rev []pathHop
+			for v := dst; v != src; v = pred[v].to {
+				if !hasPred[v] {
+					panic("xlink: no route " + f.top.NodeName(src) + "→" + f.top.NodeName(dst))
+				}
+				e := pred[v]
+				rev = append(rev, pathHop{link: e.link, dir: e.dir, post: e.post})
+			}
+			path := make([]pathHop, len(rev))
+			for i := range rev {
+				path[i] = rev[len(rev)-1-i]
+			}
+			f.paths[src][dst] = path
+		}
+	}
+}
+
+// NumLinks reports the physical link count of the fabric.
 func (f *Fabric) NumLinks() int { return len(f.links) }
 
-// Route delivers a size-byte message from socket src to socket dst:
-// egress on src's link, switch traversal, ingress on dst's link. done
-// fires when the message arrives at dst and may be nil.
+// LinkAt returns physical link i in topology order.
+func (f *Fabric) LinkAt(i int) *Link { return f.links[i] }
+
+// Port returns socket s's attachment point.
+func (f *Fabric) Port(s arch.SocketID) *Port { return &f.ports[s] }
+
+// Topology returns the fabric's (possibly synthesized) topology.
+func (f *Fabric) Topology() *topo.Topology { return f.top }
+
+// PathLinks reports the physical link indices traversed from src to
+// dst, in order; tests use it to pin deterministic path selection.
+func (f *Fabric) PathLinks(src, dst arch.SocketID) []int {
+	var out []int
+	for _, h := range f.paths[src][dst] {
+		for i, l := range f.links {
+			if l == h.link {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// acquire takes a pooled route record for a message of size bytes.
+func (f *Fabric) acquire(path []pathHop, size int) int {
+	var idx int
+	if n := len(f.freeRl); n > 0 {
+		idx = f.freeRl[n-1]
+		f.freeRl = f.freeRl[:n-1]
+	} else {
+		f.recs = append(f.recs, routeRec{})
+		idx = len(f.recs) - 1
+	}
+	r := &f.recs[idx]
+	r.path, r.pos, r.size = path, 0, size
+	return idx
+}
+
+// hopDone fires when a message finishes one link traversal: charge the
+// edge's switch-hop latency, then continue the walk.
+func (f *Fabric) hopDone(now sim.Time, arg int) {
+	r := &f.recs[arg]
+	post := r.path[r.pos].post
+	r.pos++
+	if post > 0 {
+		f.eng.ScheduleArg(post, f.stepEv, arg)
+		return
+	}
+	f.step(now, arg)
+}
+
+// step sends the message down its next link, or delivers it.
+func (f *Fabric) step(now sim.Time, arg int) {
+	r := &f.recs[arg]
+	if r.pos < len(r.path) {
+		h := r.path[r.pos]
+		h.link.SendArg(h.dir, r.size, f.hopEv, arg)
+		return
+	}
+	doneEv, doneFn := r.doneEv, r.doneFn
+	r.path, r.doneEv, r.doneFn = nil, nil, nil
+	f.freeRl = append(f.freeRl, arg)
+	if doneEv != nil {
+		doneEv(now)
+	} else if doneFn != nil {
+		doneFn()
+	}
+}
+
+// Route delivers a size-byte message from socket src to socket dst
+// along the precomputed path. done fires when the message arrives at
+// dst and may be nil.
 func (f *Fabric) Route(src, dst arch.SocketID, size int, done sim.Event) {
 	if src == dst {
 		// Degenerate but legal: loopback costs only switch latency.
-		f.eng.Schedule(f.switchLat, func(now sim.Time) {
-			if done != nil {
-				done(now)
-			}
-		})
+		if done != nil {
+			f.eng.Schedule(f.switchLat, done)
+		}
 		return
 	}
-	f.links[src].Send(Egress, size, func(sim.Time) {
-		f.eng.Schedule(f.switchLat, func(sim.Time) {
-			f.links[dst].Send(Ingress, size, done)
-		})
-	})
+	idx := f.acquire(f.paths[src][dst], size)
+	f.recs[idx].doneEv = done
+	f.step(f.eng.Now(), idx)
 }
 
 // RouteFunc is Route for a clock-ignoring delivery callback; the
@@ -60,18 +336,16 @@ func (f *Fabric) RouteFunc(src, dst arch.SocketID, size int, done func()) {
 		}
 		return
 	}
-	f.links[src].Send(Egress, size, func(sim.Time) {
-		f.eng.Schedule(f.switchLat, func(sim.Time) {
-			f.links[dst].SendFunc(Ingress, size, done)
-		})
-	})
+	idx := f.acquire(f.paths[src][dst], size)
+	f.recs[idx].doneFn = done
+	f.step(f.eng.Now(), idx)
 }
 
-// ResetSymmetric restores every link to the symmetric assignment and
-// opens fresh sampling windows (invoked at kernel launches).
-func (f *Fabric) ResetSymmetric(now sim.Time) {
+// ResetDesign restores every link to its design-time lane assignment
+// and opens fresh sampling windows (invoked at kernel launches).
+func (f *Fabric) ResetDesign(now sim.Time) {
 	for _, l := range f.links {
-		l.ResetSymmetric()
+		l.ResetDesign()
 		l.ResetWindow(now)
 	}
 }

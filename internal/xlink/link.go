@@ -39,15 +39,20 @@ func (d Direction) String() string {
 // Opposite returns the other direction.
 func (d Direction) Opposite() Direction { return 1 - d }
 
-// Link is one GPU socket's connection to the switch.
+// Link is one physical cable of the fabric: between a socket and a
+// switch in the paper's star, or between any two topology nodes in a
+// user-supplied graph. Direction Egress is the A→B traversal of the
+// owning topology edge; Ingress is B→A.
 type Link struct {
 	eng        *sim.Engine
+	name       string
 	laneBW     float64
 	totalLanes int
 	switchTime int
 
-	lanes [2]int
-	srv   [2]*sim.Server
+	lanes  [2]int
+	design [2]int // design-time lane assignment, restored at kernel launch
+	srv    [2]*sim.Server
 
 	balBytes  [2]stats.Meter // sampling window for the balancer & policies
 	profBytes [2]stats.Meter // independent window for profiling (Figure 5)
@@ -59,23 +64,38 @@ type Link struct {
 	Sent  [2]stats.Counter
 }
 
-// NewLink builds a link with lanesPerDir lanes in each direction, each
-// moving laneBW bytes/cycle, with oneWayLatency cycles end to end
-// (split across the two traversals) and the given lane turnaround time.
+// NewLink builds a symmetric link with lanesPerDir lanes in each
+// direction, each moving laneBW bytes/cycle, with oneWayLatency cycles
+// end to end (split across the two traversals) and the given lane
+// turnaround time.
 func NewLink(eng *sim.Engine, lanesPerDir int, laneBW float64, oneWayLatency, switchTime int) *Link {
+	half := oneWayLatency / 2
+	return NewLinkAsym(eng, lanesPerDir, lanesPerDir, laneBW, half, oneWayLatency-half, switchTime)
+}
+
+// NewLinkAsym builds a link whose two directions are provisioned
+// independently: lanesAB/latAB for the Egress (A→B) traversal and
+// lanesBA/latBA for Ingress (B→A). The lane budget is still shared —
+// the balancer may re-point lanes across the asymmetric design — and
+// kernel launches restore the design split via ResetDesign.
+func NewLinkAsym(eng *sim.Engine, lanesAB, lanesBA int, laneBW float64, latAB, latBA, switchTime int) *Link {
 	l := &Link{
 		eng:        eng,
 		laneBW:     laneBW,
-		totalLanes: 2 * lanesPerDir,
+		totalLanes: lanesAB + lanesBA,
 		switchTime: switchTime,
 	}
-	l.lanes[Egress] = lanesPerDir
-	l.lanes[Ingress] = lanesPerDir
-	half := oneWayLatency / 2
-	l.srv[Egress] = sim.NewServer(eng, float64(lanesPerDir)*laneBW, half)
-	l.srv[Ingress] = sim.NewServer(eng, float64(lanesPerDir)*laneBW, oneWayLatency-half)
+	l.design[Egress] = lanesAB
+	l.design[Ingress] = lanesBA
+	l.lanes = l.design
+	l.srv[Egress] = sim.NewServer(eng, float64(lanesAB)*laneBW, latAB)
+	l.srv[Ingress] = sim.NewServer(eng, float64(lanesBA)*laneBW, latBA)
 	return l
 }
+
+// Name reports the fabric-assigned label (e.g. "s0-x0"); empty for
+// links constructed directly.
+func (l *Link) Name() string { return l.name }
 
 // Lanes reports the lanes currently assigned to dir (including a lane
 // mid-turn toward dir, which counts at its destination).
@@ -105,6 +125,17 @@ func (l *Link) SendFunc(dir Direction, size int, done func()) {
 	l.srv[dir].TransferFunc(size, done)
 }
 
+// SendArg is Send for a long-lived ArgEvent continuation plus an
+// integer argument: the fabric's multi-hop walker passes its pooled
+// route-record index through arg instead of allocating a closure per
+// hop.
+func (l *Link) SendArg(dir Direction, size int, fn sim.ArgEvent, arg int) {
+	l.Sent[dir].Advance(uint64(size))
+	l.balBytes[dir].Add(uint64(size))
+	l.profBytes[dir].Add(uint64(size))
+	l.srv[dir].TransferArg(size, fn, arg)
+}
+
 // Utilization reports dir's utilization over the balancer window ending
 // at now.
 func (l *Link) Utilization(dir Direction, now sim.Time) float64 {
@@ -118,11 +149,11 @@ func (l *Link) ResetWindow(now sim.Time) {
 }
 
 // ProfileUtilization reports dir's utilization over the profiler window
-// (normalized against the symmetric per-direction capacity so Figure 5
-// profiles are comparable across reconfigurations).
+// (normalized against the design-time per-direction capacity so Figure
+// 5 profiles are comparable across runtime reconfigurations).
 func (l *Link) ProfileUtilization(dir Direction, now sim.Time) float64 {
-	sym := float64(l.totalLanes/2) * l.laneBW
-	return l.profBytes[dir].Utilization(now, sym)
+	design := float64(l.design[dir]) * l.laneBW
+	return l.profBytes[dir].Utilization(now, design)
 }
 
 // ResetProfileWindow opens a new profiler window at now.
@@ -157,14 +188,13 @@ func (l *Link) TurnLane(from, to Direction) bool {
 	return true
 }
 
-// ResetSymmetric restores the design-time symmetric lane assignment,
+// ResetDesign restores the design-time lane assignment (symmetric for
+// paper-style links, possibly asymmetric for topology-specified ones),
 // applied instantaneously at kernel launch (the paper reconfigures all
-// links to symmetric on every kernel boundary).
-func (l *Link) ResetSymmetric() {
+// links on every kernel boundary).
+func (l *Link) ResetDesign() {
 	l.gen++
-	per := l.totalLanes / 2
-	l.lanes[Egress] = per
-	l.lanes[Ingress] = l.totalLanes - per
+	l.lanes = l.design
 	l.srv[Egress].SetBandwidth(float64(l.lanes[Egress]) * l.laneBW)
 	l.srv[Ingress].SetBandwidth(float64(l.lanes[Ingress]) * l.laneBW)
 }

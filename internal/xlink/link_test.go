@@ -92,12 +92,12 @@ func TestTurnLaneSelfRejected(t *testing.T) {
 	}
 }
 
-func TestResetSymmetric(t *testing.T) {
+func TestResetDesign(t *testing.T) {
 	eng := sim.New()
 	l := newTestLink(eng)
 	l.TurnLane(Ingress, Egress)
 	l.TurnLane(Ingress, Egress)
-	l.ResetSymmetric()
+	l.ResetDesign()
 	if l.Lanes(Egress) != 8 || l.Lanes(Ingress) != 8 {
 		t.Fatal("reset must restore symmetry")
 	}
@@ -157,7 +157,7 @@ func TestPropertyLaneConservation(t *testing.T) {
 			case 1:
 				l.TurnLane(Egress, Ingress)
 			case 2:
-				l.ResetSymmetric()
+				l.ResetDesign()
 			case 3:
 				eng.Step()
 			}
@@ -190,10 +190,10 @@ func TestFabricRoute(t *testing.T) {
 		t.Fatalf("delivery at %d, faster than latency floor %d", at, min)
 	}
 	// Bytes appear on src egress and dst ingress.
-	if f.Link(0).Sent[Egress].Value() != 128 {
+	if f.LinkAt(0).Sent[Egress].Value() != 128 {
 		t.Fatal("source egress bytes missing")
 	}
-	if f.Link(2).Sent[Ingress].Value() != 128 {
+	if f.LinkAt(2).Sent[Ingress].Value() != 128 {
 		t.Fatal("destination ingress bytes missing")
 	}
 	if f.TotalBytes() != 256 {
@@ -210,17 +210,17 @@ func TestFabricLoopback(t *testing.T) {
 	if !ran {
 		t.Fatal("loopback route must still deliver")
 	}
-	if f.Link(1).Sent[Egress].Value() != 0 {
+	if f.LinkAt(1).Sent[Egress].Value() != 0 {
 		t.Fatal("loopback must not use the link")
 	}
 }
 
-func TestFabricResetSymmetric(t *testing.T) {
+func TestFabricResetDesign(t *testing.T) {
 	eng := sim.New()
 	f := NewFabric(eng, arch.TestConfig())
-	f.Link(0).TurnLane(Ingress, Egress)
-	f.ResetSymmetric(0)
-	if f.Link(0).Lanes(Egress) != f.Link(0).Lanes(Ingress) {
+	f.LinkAt(0).TurnLane(Ingress, Egress)
+	f.ResetDesign(0)
+	if f.LinkAt(0).Lanes(Egress) != f.LinkAt(0).Lanes(Ingress) {
 		t.Fatal("fabric reset must restore all links")
 	}
 }
@@ -242,10 +242,10 @@ func TestPropertyRouteConservation(t *testing.T) {
 		}
 		eng.Run()
 		for s := 0; s < 4; s++ {
-			if fab.Link(arch.SocketID(s)).Sent[Egress].Value() != wantE[s] {
+			if fab.LinkAt(s).Sent[Egress].Value() != wantE[s] {
 				return false
 			}
-			if fab.Link(arch.SocketID(s)).Sent[Ingress].Value() != wantI[s] {
+			if fab.LinkAt(s).Sent[Ingress].Value() != wantI[s] {
 				return false
 			}
 		}
