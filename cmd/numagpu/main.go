@@ -76,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	divisor := fs.Int("divisor", 8, "architecture scale divisor")
 	quick := fs.Bool("quick", false, "quick mode (iterscale 0.25)")
 	parallel := fs.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
+	shards := fs.Int("shards", 1, "engine shards per simulation (results are byte-identical to -shards 1)")
 	remote := fs.String("remote", "", "numagpud coordinator URL: execute simulations on the sweep fabric")
 	topoPath := fs.String("topology", "", "topology JSON file replacing the synthesized crossbar (docs/TOPOLOGY.md)")
 	validate := fs.Bool("validate", false, "with -topology: validate the file, print its canonical encoding, and exit")
@@ -157,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
-	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale, Parallelism: *parallel, Topology: topology}
+	opts := exp.Options{Divisor: *divisor, IterScale: *iterScale, Parallelism: *parallel, Topology: topology, EngineShards: *shards}
 	if *quick {
 		opts.IterScale = 0.25
 	}

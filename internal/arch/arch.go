@@ -221,6 +221,16 @@ type Config struct {
 	// exactly Sockets socket entries. Omitted (zero) per-link values
 	// inherit LanesPerDir / LaneBandwidth / LinkLatency.
 	Topology *topo.Topology `json:",omitempty"`
+
+	// EngineShards selects sharded event execution: above 1 the system
+	// runs on a sim.ParallelEngine with min(EngineShards, Sockets)
+	// socket shards plus a fabric/home shard, with the lookahead bound
+	// derived from the fabric's minimum inter-socket path cost. 0 or 1
+	// keeps the single serial engine. The observable event schedule —
+	// and therefore every result — is identical either way, which is
+	// why the field is execution policy, not configuration: it is
+	// excluded from experiment cache keys.
+	EngineShards int `json:",omitempty"`
 }
 
 // PaperConfig returns the 4-socket configuration of Table 1.
@@ -355,6 +365,8 @@ func (c Config) Validate() error {
 		return cfgError("bandwidths must be positive")
 	case c.LinkSampleTime < 1 || c.CacheSampleTime < 1:
 		return cfgError("sample times must be >= 1")
+	case c.EngineShards < 0:
+		return cfgError("EngineShards must be >= 0")
 	}
 	if c.Topology != nil {
 		if err := c.Topology.Validate(); err != nil {

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// shardedRun runs one workload twice — serial and with EngineShards
+// shards — and returns both results plus the sharded system for
+// engine-level accounting.
+func shardedRun(t *testing.T, cfg arch.Config, shards int, prog func() core.Program) (core.Result, core.Result, *core.System) {
+	t.Helper()
+	serial := core.MustSystem(cfg)
+	resSerial := serial.Run(prog())
+	if serial.Parallel() != nil {
+		t.Fatal("serial system must not build a parallel engine")
+	}
+	scfg := cfg
+	scfg.EngineShards = shards
+	sys := core.MustSystem(scfg)
+	if sys.Parallel() == nil {
+		t.Fatalf("EngineShards=%d must build a parallel engine", shards)
+	}
+	resSharded := sys.Run(prog())
+	// The shard count must not leak into the result: results memoized or
+	// cached under the serial config have to stay valid.
+	if !reflect.DeepEqual(resSerial, resSharded) {
+		t.Fatalf("sharded result diverged from serial:\nserial:  %+v\nsharded: %+v", resSerial, resSharded)
+	}
+	serialExec := serial.Engine().Executed()
+	pe := sys.Parallel()
+	if pe.Executed() != serialExec {
+		t.Fatalf("event-count parity broken: serial executed %d events, sharded %d", serialExec, pe.Executed())
+	}
+	var sum uint64
+	busy := 0
+	for i := 0; i < pe.NumShards(); i++ {
+		n := pe.ShardExecuted(i)
+		sum += n
+		if n > 0 {
+			busy++
+		}
+	}
+	if sum != pe.Executed() {
+		t.Fatalf("per-shard counts sum to %d, total says %d", sum, pe.Executed())
+	}
+	if busy < 2 {
+		t.Fatalf("only %d shard(s) executed events — the work was not actually distributed", busy)
+	}
+	return resSerial, resSharded, sys
+}
+
+// TestShardedRunMatchesSerial is the model-level equivalence check:
+// a remote-heavy workload under EngineShards=4 must produce a result
+// deep-equal to the serial engine, with the same total event count
+// split across shards and every fabric route validated as a legal
+// cross-shard delivery.
+func TestShardedRunMatchesSerial(t *testing.T) {
+	spec, _ := workload.ByName("HPC-CoMD")
+	cfg := arch.TestConfig()
+	cfg.CacheMode = arch.CacheNUMAAware
+	cfg.LinkMode = arch.LinkDynamic
+	prog := func() core.Program {
+		return spec.Program(workload.Options{IterScale: 0.2, MaxCTAs: 64})
+	}
+	_, _, sys := shardedRun(t, cfg, 4, prog)
+	if sys.Parallel().CrossDelivered() == 0 {
+		t.Fatal("a NUMA-aware multi-socket run must produce validated cross-shard deliveries")
+	}
+}
+
+// TestShardedRemotePlacement drives heavy remote traffic (fine page
+// interleave) through sharded sockets: every RemoteRead/Write crosses
+// shard boundaries through the fabric.
+func TestShardedRemotePlacement(t *testing.T) {
+	cfg := arch.TestConfig()
+	cfg.Placement = arch.PlaceFineInterleave
+	prog := func() core.Program {
+		return core.Program{Kernels: []core.Kernel{
+			&gridKernel{ctas: 32, warps: 2, loads: 8, store: true},
+		}}
+	}
+	_, _, sys := shardedRun(t, cfg, 4, prog)
+	if sys.Parallel().CrossDelivered() == 0 {
+		t.Fatal("fine-interleaved placement must cross shards")
+	}
+}
+
+// TestShardedClampsToSockets asks for more shards than sockets: the
+// system clamps to one shard per socket instead of idling empty shards.
+func TestShardedClampsToSockets(t *testing.T) {
+	cfg := arch.TestConfig() // 4 sockets
+	prog := func() core.Program {
+		return core.Program{Kernels: []core.Kernel{
+			&gridKernel{ctas: 16, warps: 2, loads: 6},
+		}}
+	}
+	_, _, sys := shardedRun(t, cfg, 16, prog)
+	if got := sys.Parallel().NumShards(); got != cfg.Sockets+1 {
+		t.Fatalf("shard count %d, want %d (sockets + fabric shard)", got, cfg.Sockets+1)
+	}
+}
+
+// TestShardedSingleSocketStaysSerial pins the degenerate case: with one
+// socket there is nothing to shard, so the system must fall back to the
+// plain serial engine rather than paying lockstep overhead.
+func TestShardedSingleSocketStaysSerial(t *testing.T) {
+	cfg := arch.TestConfig().WithSockets(1)
+	cfg.EngineShards = 8
+	sys := core.MustSystem(cfg)
+	if sys.Parallel() != nil {
+		t.Fatal("single-socket system must not shard")
+	}
+	res := sys.Run(core.Program{Kernels: []core.Kernel{
+		&gridKernel{ctas: 8, warps: 2, loads: 4},
+	}})
+	if res.Cycles == 0 {
+		t.Fatal("single-socket run failed")
+	}
+}
+
+// TestShardedMultiKernelSequence runs a kernel sequence with stores and
+// drain barriers across shards — the inter-kernel quiesce points are
+// where a broken window protocol would deadlock or reorder.
+func TestShardedMultiKernelSequence(t *testing.T) {
+	cfg := arch.TestConfig()
+	cfg.Sched = arch.SchedFineGrain
+	prog := func() core.Program {
+		return core.Program{Kernels: []core.Kernel{
+			&gridKernel{name: "w", ctas: 24, warps: 2, loads: 10, store: true},
+			&gridKernel{name: "r", ctas: 24, warps: 2, loads: 10},
+			&gridKernel{name: "r2", ctas: 24, warps: 2, loads: 6},
+		}}
+	}
+	resSerial, resSharded, _ := shardedRun(t, cfg, 2, prog)
+	if len(resSharded.KernelCycles) != 3 {
+		t.Fatalf("kernel cycles %v, want 3 entries", resSharded.KernelCycles)
+	}
+	if resSerial.Stores == 0 {
+		t.Fatal("no stores recorded")
+	}
+}

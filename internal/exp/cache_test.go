@@ -120,14 +120,24 @@ func TestRunKeyEncodesScale(t *testing.T) {
 // TestRunKeyCoversEveryConfigField perturbs each arch.Config field in
 // turn and requires the run key to change: the persistent cache is
 // only safe if no result-affecting parameter is outside the key. A new
-// Config field that fails here must be added to cfgKey or machineKey.
+// Config field that fails here must be added to cfgKey or machineKey —
+// or, if it provably cannot affect results, listed in the execution
+// policy exemptions below and covered by an equivalence test.
 func TestRunKeyCoversEveryConfigField(t *testing.T) {
+	// Execution policy fields change how the simulation runs, not what
+	// it computes; keying them would needlessly split shared caches.
+	// EngineShards: byte-identity is enforced by TestGoldenMastersSharded
+	// and core's TestShardedRunMatchesSerial.
+	policy := map[string]bool{"EngineShards": true}
 	r := NewRunner(tinyOptions())
 	spec := r.opts.Workloads[0]
 	base := arch.PaperConfig()
 	k0 := r.RunKey(base, spec)
 	rt := reflect.TypeOf(base)
 	for i := 0; i < rt.NumField(); i++ {
+		if policy[rt.Field(i).Name] {
+			continue
+		}
 		c := base
 		f := reflect.ValueOf(&c).Elem().Field(i)
 		switch f.Kind() {

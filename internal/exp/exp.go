@@ -61,6 +61,12 @@ type Options struct {
 	// with other socket counts (monolithic references, cross-socket
 	// scaling sweeps) keep the synthesized crossbar.
 	Topology *topo.Topology
+	// EngineShards, when > 1, runs every local simulation on a sharded
+	// lockstep engine: one shard per socket (clamped to the socket
+	// count) plus a fabric/home shard. Execution policy only — results
+	// are byte-identical to the serial engine, so the setting is
+	// excluded from run and cache keys and never sent to a Backend.
+	EngineShards int
 }
 
 // DefaultOptions is the reference harness size (minutes for the full
@@ -240,7 +246,13 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 			}
 			// Backend unavailable: simulate locally below.
 		}
-		sys := core.MustSystem(cfg)
+		simCfg := cfg
+		if r.opts.EngineShards > 1 {
+			// Applied after RunKey/cfgKey: the shard count must never
+			// split the memo or poison a shared cache.
+			simCfg.EngineShards = r.opts.EngineShards
+		}
+		sys := core.MustSystem(simCfg)
 		res := sys.Run(spec.Program(r.opts.workloadOptions()))
 		res.Name = spec.Name
 		e.res = res

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestGoldenMastersSharded reruns every registered experiment with the
+// simulations split across four engine shards and diffs the rendered
+// output byte-for-byte against the same fixtures TestGoldenMasters
+// checks. The parallel engine's whole contract is that sharding is
+// invisible — not statistically close, identical — and this is the
+// tier that holds it to that across the full experiment matrix: every
+// cache mode, link mode, scheduler, placement policy, socket count,
+// and topology the goldens cover.
+//
+// Never run with -update: the fixtures are owned by the serial tier.
+// A failure here with a passing TestGoldenMasters means the sharded
+// engine diverged; a failure in both means the model changed.
+func TestGoldenMastersSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded golden masters simulate the full -quick suite; skipped in -short mode")
+	}
+	opts := QuickOptions()
+	opts.EngineShards = 4
+	runner := NewRunner(opts)
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			got := RenderGolden(e.Run(runner))
+			want, err := os.ReadFile(goldenPath(e.Name))
+			if err != nil {
+				t.Fatalf("missing golden fixture (regenerate with TestGoldenMasters -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s sharded output diverged from the serial golden master (%d bytes got, %d want).\n"+
+					"EngineShards must be invisible in results; do NOT regenerate fixtures for this.\n"+
+					"--- got ---\n%s\n--- want ---\n%s",
+					e.Name, len(got), len(want), firstDiffWindow(got, want), firstDiffWindow(want, got))
+			}
+		})
+	}
+}

@@ -96,6 +96,14 @@ type Engine struct {
 	ringN int // events currently resident in ring buckets
 	far   farHeap
 	ring  [ringSize]bucket
+
+	// seqp, when non-nil, is a stamp counter shared with other engines:
+	// every insert takes its seq from *seqp instead of the local counter.
+	// The ParallelEngine's lockstep mode points all shards at one counter
+	// so the shard-spanning (time, seq) order is exactly the insertion
+	// order a single serial engine would have produced. e.seq still
+	// increments per insert and doubles as a local change counter.
+	seqp *uint64
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -115,7 +123,12 @@ func (e *Engine) Pending() int { return e.ringN + len(e.far) }
 func (e *Engine) insert(at Time, it scheduled) {
 	e.seq++
 	it.at = at
-	it.seq = e.seq
+	if e.seqp != nil {
+		*e.seqp++
+		it.seq = *e.seqp
+	} else {
+		it.seq = e.seq
+	}
 	if at < e.now+ringSize {
 		b := &e.ring[at&ringMask]
 		b.items = append(b.items, it)
@@ -219,6 +232,26 @@ func (e *Engine) peek() (Time, bool) {
 		return e.far[0].at, true
 	}
 	return 0, false
+}
+
+// peekHead reports the (time, seq) stamp of the next queued event
+// without running it. The ParallelEngine's lockstep executor compares
+// shard heads by this stamp to pick the globally next event; within a
+// ring bucket FIFO order is seq order (see the Engine invariant), so
+// the head of the first non-empty cycle carries the shard's minimum.
+func (e *Engine) peekHead() (Time, uint64, bool) {
+	if e.ringN > 0 {
+		for t := e.now; ; t++ {
+			b := &e.ring[t&ringMask]
+			if b.head < len(b.items) {
+				return t, b.items[b.head].seq, true
+			}
+		}
+	}
+	if len(e.far) > 0 {
+		return e.far[0].at, e.far[0].seq, true
+	}
+	return 0, 0, false
 }
 
 // Step executes the single next event and reports whether one existed.

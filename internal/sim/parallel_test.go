@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("no panic; want one mentioning %q", want)
+		}
+		if msg, ok := p.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v; want one mentioning %q", p, want)
+		}
+	}()
+	fn()
+}
+
+// TestParallelZeroLookaheadRejected pins the loud rejection of a zero
+// lookahead bound: with it, a cross-shard event could land in the
+// window being executed, and the conservative protocol would silently
+// misorder it.
+func TestParallelZeroLookaheadRejected(t *testing.T) {
+	mustPanic(t, "zero lookahead", func() { NewParallel(2, 0) })
+	mustPanic(t, "zero lookahead", func() { NewLockstep(2, 0) })
+	mustPanic(t, "zero lookahead", func() { NewParallel(2, 5).SetLookahead(0) })
+	mustPanic(t, "at least one shard", func() { NewParallel(0, 1) })
+}
+
+// TestParallelSubBoundSendRejected pins the loud rejection of a
+// cross-shard send faster than the lookahead bound, in both modes, and
+// of sends addressed to the sender's own shard.
+func TestParallelSubBoundSendRejected(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mk   func() *ParallelEngine
+	}{
+		{"windowed", func() *ParallelEngine { return NewParallel(2, 10) }},
+		{"lockstep", func() *ParallelEngine { return NewLockstep(2, 10) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			mustPanic(t, "below the lookahead bound", func() {
+				mode.mk().Send(0, 1, 9, func(Time) {})
+			})
+			mustPanic(t, "own shard", func() {
+				mode.mk().Send(0, 0, 10, func(Time) {})
+			})
+			// Exactly the bound is legal: the fastest physical message.
+			pe := mode.mk()
+			ran := false
+			pe.Send(0, 1, 10, func(now Time) {
+				if now != 10 {
+					t.Errorf("bound-delay send delivered @%d, want 10", now)
+				}
+				ran = true
+			})
+			pe.Run()
+			if !ran {
+				t.Fatal("send at exactly the lookahead bound was not delivered")
+			}
+		})
+	}
+}
+
+// TestParallelNoteCrossValidates pins the runtime check the sharded
+// model rides on: fabric deliveries faster than the derived bound panic
+// instead of silently invalidating the window protocol.
+func TestParallelNoteCrossValidates(t *testing.T) {
+	pe := NewLockstep(3, 10)
+	pe.Shard(0).Schedule(25, func(Time) {})
+	pe.Run()
+	pe.NoteCross(0, 1, 15) // elapsed 10 == bound: legal
+	pe.NoteCross(1, 1, 25) // same shard: not a crossing
+	if got := pe.CrossDelivered(); got != 1 {
+		t.Fatalf("CrossDelivered = %d, want 1", got)
+	}
+	mustPanic(t, "below the lookahead bound", func() { pe.NoteCross(0, 1, 16) })
+}
+
+// TestParallelWindowAccounting pins the window protocol's observable
+// bookkeeping on a hand-written program: delivery times, window count,
+// per-shard event counts, and the pooled mailboxes ending empty.
+func TestParallelWindowAccounting(t *testing.T) {
+	pe := NewParallel(2, 8)
+	var order []string
+	pe.Shard(0).Schedule(3, func(now Time) {
+		order = append(order, "a@3")
+		pe.SendThunk(0, 1, 8, func() { order = append(order, "b@11") })
+	})
+	pe.Shard(1).Schedule(12, func(now Time) { order = append(order, "c@12") })
+	pe.Run()
+	if got, want := strings.Join(order, " "), "a@3 b@11 c@12"; got != want {
+		t.Fatalf("execution order %q, want %q", got, want)
+	}
+	if pe.Executed() != 3 || pe.ShardExecuted(0) != 1 || pe.ShardExecuted(1) != 2 {
+		t.Fatalf("event counts: total %d, shard0 %d, shard1 %d; want 3/1/2",
+			pe.Executed(), pe.ShardExecuted(0), pe.ShardExecuted(1))
+	}
+	if pe.CrossDelivered() != 1 {
+		t.Fatalf("CrossDelivered = %d, want 1", pe.CrossDelivered())
+	}
+	if pe.Windows() == 0 {
+		t.Fatal("no synchronization windows recorded")
+	}
+	if pe.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", pe.Pending())
+	}
+}
+
+// TestParallelRunUntilContract pins RunUntil's deadline semantics
+// against the serial Engine contract: stop-and-park at the deadline,
+// and a deadline in the past executing nothing.
+func TestParallelRunUntilContract(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mk   func() *ParallelEngine
+	}{
+		{"windowed", func() *ParallelEngine { return NewParallel(2, 4) }},
+		{"lockstep", func() *ParallelEngine { return NewLockstep(2, 4) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			pe := mode.mk()
+			var ran []Time
+			pe.Shard(0).Schedule(5, func(now Time) { ran = append(ran, now) })
+			pe.Shard(1).Schedule(50, func(now Time) { ran = append(ran, now) })
+			if pe.RunUntil(20) {
+				t.Fatal("RunUntil(20) reported drained with an event at 50 queued")
+			}
+			if len(ran) != 1 || ran[0] != 5 {
+				t.Fatalf("after RunUntil(20): ran %v, want [5]", ran)
+			}
+			if pe.Now() != 20 {
+				t.Fatalf("clock parked at %d, want 20", pe.Now())
+			}
+			// Past deadline: nothing executes, clock does not move back.
+			if pe.RunUntil(3) {
+				t.Fatal("past-deadline RunUntil reported drained")
+			}
+			if pe.Now() != 20 || len(ran) != 1 {
+				t.Fatalf("past deadline moved state: now %d, ran %v", pe.Now(), ran)
+			}
+			if !pe.RunUntil(100) {
+				t.Fatal("RunUntil(100) did not drain")
+			}
+			if len(ran) != 2 || ran[1] != 50 {
+				t.Fatalf("after drain: ran %v, want [5 50]", ran)
+			}
+			// Drained + past deadline reports drained.
+			if !pe.RunUntil(1) {
+				t.Fatal("drained engine's past-deadline RunUntil reported pending work")
+			}
+		})
+	}
+}
+
+// TestParallelReset pins that Reset returns a used engine (mailboxes,
+// counters, shared stamp) to a state indistinguishable from fresh.
+func TestParallelReset(t *testing.T) {
+	pe := NewLockstep(2, 3)
+	pe.Shard(0).Schedule(1, func(Time) { pe.SendThunk(0, 1, 3, func() {}) })
+	pe.Run()
+	pe.Reset()
+	if pe.Now() != 0 || pe.Executed() != 0 || pe.Pending() != 0 || pe.CrossDelivered() != 0 {
+		t.Fatalf("Reset left state: now %d exec %d pending %d cross %d",
+			pe.Now(), pe.Executed(), pe.Pending(), pe.CrossDelivered())
+	}
+	if pe.gseq != 0 {
+		t.Fatalf("Reset left shared stamp at %d", pe.gseq)
+	}
+	var got []Time
+	pe.Shard(1).Schedule(2, func(now Time) { got = append(got, now) })
+	pe.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("fresh run after Reset executed %v, want [2]", got)
+	}
+}
+
+// benchParallel drives a steady-state message-passing load: each shard
+// runs a local event chain and every fourth event posts a cross-shard
+// message at the lookahead bound.
+func benchParallel(b *testing.B, shards, workers int) {
+	const lookahead = 64
+	pe := NewParallel(shards, lookahead)
+	pe.SetWorkers(workers)
+	n := 0
+	var chain func(shard int) func(Time)
+	chain = func(shard int) func(Time) {
+		var fn func(Time)
+		fn = func(Time) {
+			n++
+			if n >= b.N {
+				return
+			}
+			if n%4 == 0 && shards > 1 {
+				dst := (shard + 1) % shards
+				pe.Send(shard, dst, lookahead, chain(dst))
+				return
+			}
+			pe.Shard(shard).Schedule(Time(n%13), fn)
+		}
+		return fn
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for s := 0; s < shards; s++ {
+		pe.Shard(s).Schedule(1, chain(s))
+	}
+	pe.Run()
+	b.StopTimer()
+	if pe.Executed() == 0 {
+		b.Fatal("no events executed")
+	}
+}
+
+func BenchmarkParallelEngineShards1(b *testing.B) { benchParallel(b, 1, 1) }
+func BenchmarkParallelEngineShards2(b *testing.B) { benchParallel(b, 2, 1) }
+func BenchmarkParallelEngineShards4(b *testing.B) { benchParallel(b, 4, 1) }
+
+// BenchmarkParallelEngineLockstep4 measures the lockstep executor's
+// overhead over a plain serial engine: the price of running the model
+// sharded on this 1-CPU container.
+func BenchmarkParallelEngineLockstep4(b *testing.B) {
+	pe := NewLockstep(4, 64)
+	n := 0
+	var fns [4]func(Time)
+	for s := 0; s < 4; s++ {
+		shard := s
+		fns[s] = func(Time) {
+			n++
+			if n >= b.N {
+				return
+			}
+			pe.Shard(shard).Schedule(Time(n%13), fns[shard])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for s := 0; s < 4; s++ {
+		pe.Shard(s).Schedule(1, fns[s])
+	}
+	pe.Run()
+}
