@@ -28,6 +28,15 @@
 //	               rendered locally, byte-identical to a local run.
 //	               Raise -j to the cluster's total worker window to
 //	               keep a multi-worker fabric busy
+//	-obs-dir dir   enable the observability layer: write each run's
+//	               time series (series.csv + series.json) into
+//	               dir/<workload>-<key hash>/. Sampling is read-only
+//	               and results stay byte-identical; observed runs
+//	               always simulate locally (cache reads and -remote
+//	               are bypassed for them). See docs/OBSERVABILITY.md
+//	-trace         with -obs-dir: also write a Chrome/Perfetto
+//	               trace.json per run (kernel waves, cross-socket
+//	               transfers, drain phases)
 //	-csv dir       also write each experiment's table as CSV into dir
 //	-json          print each experiment as a JSON object instead of text
 //	-golden        print each experiment in the golden-master fixture
@@ -45,6 +54,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -54,12 +64,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/topo"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -81,6 +94,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	topoPath := fs.String("topology", "", "topology JSON file replacing the synthesized crossbar (docs/TOPOLOGY.md)")
 	validate := fs.Bool("validate", false, "with -topology: validate the file, print its canonical encoding, and exit")
 	dumpPreset := fs.String("dump-topology", "", "print the effective topology of this preset (base|traditional|numa-aware|monolithic) and exit")
+	obsDir := fs.String("obs-dir", "", "write per-run observability time series into this directory (enables sampling)")
+	traceOut := fs.Bool("trace", false, "with -obs-dir: also write a Chrome/Perfetto trace.json per run")
 	csvDir := fs.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonOut := fs.Bool("json", false, "print each experiment as a JSON object instead of text")
 	golden := fs.Bool("golden", false, "print each experiment in the golden-master fixture format")
@@ -129,6 +144,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "-json and -golden are mutually exclusive\n")
 		return 2
 	}
+	if *traceOut && *obsDir == "" {
+		fmt.Fprintf(stderr, "-trace requires -obs-dir\n")
+		return 2
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -167,6 +186,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *remote != "" {
 		opts.Backend = service.NewFabricClient(*remote)
+	}
+	var obsMu sync.Mutex
+	var obsErr error
+	if *obsDir != "" {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "obs-dir: %v\n", err)
+			return 1
+		}
+		opts.Obs = arch.ObsSpec{Series: true, Trace: *traceOut}
+		dir := *obsDir
+		opts.ObsSink = func(key string, spec workload.Spec, col *obs.Collector) {
+			if err := writeObs(dir, key, spec.Name, col); err != nil {
+				obsMu.Lock()
+				if obsErr == nil {
+					obsErr = err
+				}
+				obsMu.Unlock()
+			}
+		}
 	}
 	runner := exp.NewRunner(opts)
 
@@ -217,7 +255,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "\nelapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if obsErr != nil {
+		fmt.Fprintf(stderr, "obs: %v\n", obsErr)
+		return 1
+	}
+	if *obsDir != "" {
+		fmt.Fprintf(stderr, "observability output in %s\n", *obsDir)
+	}
 	return 0
+}
+
+// writeObs flushes one observed run's collector into its own
+// subdirectory, named by workload plus a short hash of the run key so
+// the same workload under different configurations lands in different
+// directories and reruns land in the same ones.
+func writeObs(dir, key, specName string, col *obs.Collector) error {
+	sum := sha256.Sum256([]byte(key))
+	sub := filepath.Join(dir, fmt.Sprintf("%s-%x", specName, sum[:4]))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, flush func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(sub, name))
+		if err != nil {
+			return err
+		}
+		if err := flush(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("series.csv", col.WriteSeriesCSV); err != nil {
+		return err
+	}
+	if err := write("series.json", col.WriteSeriesJSON); err != nil {
+		return err
+	}
+	if col.Trace() != nil {
+		if err := write("trace.json", col.WriteTrace); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dumpTopology prints the effective topology of one configuration

@@ -267,6 +267,60 @@ func TestRunDumpTopology(t *testing.T) {
 	}
 }
 
+func TestRunTraceRequiresObsDir(t *testing.T) {
+	code, _, stderr := runCLI(t, "-trace", "fig2")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-trace requires -obs-dir") {
+		t.Fatalf("stderr missing diagnostic:\n%s", stderr)
+	}
+}
+
+func TestRunObsOutput(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t, "-iterscale", "0.01", "-divisor", "16", "-obs-dir", dir, "-trace", "fig3")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "observability output in") {
+		t.Fatalf("stderr missing obs note:\n%s", stderr)
+	}
+	runs, err := filepath.Glob(filepath.Join(dir, "*", "series.csv"))
+	if err != nil || len(runs) == 0 {
+		t.Fatalf("no series.csv written under %s (err %v)", dir, err)
+	}
+	sub := filepath.Dir(runs[0])
+	b, err := os.ReadFile(runs[0])
+	if err != nil || !strings.HasPrefix(string(b), "series,cycle,value\n") {
+		t.Fatalf("series.csv header wrong (err %v): %.40q", err, string(b))
+	}
+	var doc struct {
+		SamplePeriod int `json:"sample_period"`
+		Series       []struct {
+			Name    string       `json:"name"`
+			Samples [][2]float64 `json:"samples"`
+		} `json:"series"`
+	}
+	jb, err := os.ReadFile(filepath.Join(sub, "series.json"))
+	if err != nil {
+		t.Fatalf("series.json not written: %v", err)
+	}
+	if err := json.Unmarshal(jb, &doc); err != nil || doc.SamplePeriod == 0 || len(doc.Series) == 0 {
+		t.Fatalf("series.json malformed (err %v): %.80q", err, string(jb))
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	tb, err := os.ReadFile(filepath.Join(sub, "trace.json"))
+	if err != nil {
+		t.Fatalf("trace.json not written: %v", err)
+	}
+	if err := json.Unmarshal(tb, &trace); err != nil || len(trace.TraceEvents) == 0 {
+		t.Fatalf("trace.json malformed (err %v): %.80q", err, string(tb))
+	}
+}
+
 func TestRunCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	code, _, stderr := runCLI(t, "-csv", dir, "table2")

@@ -47,6 +47,14 @@
 //	numagpu -quick -remote http://127.0.0.1:8377 -j 8 fig3
 //	curl localhost:8377/v1/fabric
 //
+// Sweeps submitted to POST /v1/sweeps may set an "obs" field (see
+// arch.ObsSpec and docs/OBSERVABILITY.md) to sample per-socket and
+// per-link time series — and optionally a Chrome trace — during each
+// run; the series ride back in the job result JSON alongside the
+// results. Observed runs simulate locally on the coordinator so the
+// probes execute (the fabric and warm cache reads are bypassed);
+// results are byte-identical either way.
+//
 // On SIGINT/SIGTERM a coordinator drains its queued jobs and a worker
 // drains its leased shards (finishing and shipping in-flight results,
 // then deregistering) before exiting.

@@ -231,7 +231,40 @@ type Config struct {
 	// why the field is execution policy, not configuration: it is
 	// excluded from experiment cache keys.
 	EngineShards int `json:",omitempty"`
+
+	// Obs enables the opt-in observability layer (internal/obs):
+	// per-socket/per-link/per-cache time series and an optional Chrome
+	// trace, sampled by read-only probes that never mutate model state.
+	// Like EngineShards it is execution policy, not configuration —
+	// observation must not change simulation identity, so the block is
+	// excluded from experiment cache keys (byte-identity with sampling
+	// on is enforced by TestObsOnByteIdentical; key exemption by
+	// TestRunKeyIgnoresObs).
+	Obs ObsSpec `json:",omitzero"`
 }
+
+// ObsSpec is the Config.Obs policy block. The zero value disables all
+// observation; Series and Trace opt in independently. Capacities are
+// fixed up front so sampling stays allocation-free: rings overwrite
+// their oldest entries when full and the drop counts are reported at
+// flush time.
+type ObsSpec struct {
+	// Series enables per-socket/per-link/per-cache time series.
+	Series bool `json:",omitzero"`
+	// Trace enables the Chrome-trace event ring (kernel waves,
+	// cross-socket transfers, drain phases).
+	Trace bool `json:",omitzero"`
+	// SamplePeriod is the cycles between samples (0 = 5000, the
+	// paper's policy sampling window).
+	SamplePeriod int `json:",omitzero"`
+	// MaxSamples caps each series ring (0 = 4096 points).
+	MaxSamples int `json:",omitzero"`
+	// MaxTraceEvents caps the trace ring (0 = 65536 events).
+	MaxTraceEvents int `json:",omitzero"`
+}
+
+// Enabled reports whether any observation output is requested.
+func (o ObsSpec) Enabled() bool { return o.Series || o.Trace }
 
 // PaperConfig returns the 4-socket configuration of Table 1.
 func PaperConfig() Config {
@@ -367,6 +400,8 @@ func (c Config) Validate() error {
 		return cfgError("sample times must be >= 1")
 	case c.EngineShards < 0:
 		return cfgError("EngineShards must be >= 0")
+	case c.Obs.SamplePeriod < 0 || c.Obs.MaxSamples < 0 || c.Obs.MaxTraceEvents < 0:
+		return cfgError("Obs capacities and sample period must be >= 0")
 	}
 	if c.Topology != nil {
 		if err := c.Topology.Validate(); err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/smcore"
 	"repro/internal/stats"
@@ -53,6 +54,8 @@ type System struct {
 	balancers   []*xlink.Balancer
 	partitions  []*gpu.PartitionController
 	profiler    *linkProfiler
+	obsc        *obs.Collector // nil unless cfg.Obs requests observation
+	tr          *obsTrace      // nil unless cfg.Obs.Trace
 	kernels     []Kernel
 	kernelIdx   int
 	socketsLeft int
@@ -102,6 +105,9 @@ func NewSystem(cfg arch.Config) (*System, error) {
 		}
 		s.fabric.EnableSharding(s.pe, func(id arch.SocketID) int { return int(id) % shards })
 	}
+	if cfg.Obs.Enabled() {
+		s.obsc = obs.New(cfg.Obs)
+	}
 	for i := 0; i < cfg.Sockets; i++ {
 		var port *xlink.Port
 		if s.fabric != nil {
@@ -113,9 +119,22 @@ func NewSystem(cfg arch.Config) (*System, error) {
 		}
 		sock := gpu.NewSocket(eng, socketConfig(cfg, i), arch.SocketID(i), s.mem, s, port, s.drain, s.onSocketDone)
 		s.sockets = append(s.sockets, sock)
+		if s.obsc != nil {
+			s.obsc.AddSocket(eng, socketConfig(cfg, i), sock)
+		}
+	}
+	if s.obsc != nil {
+		s.obsc.AddFabric(s.eng, s.fabric)
+		if t := s.obsc.Trace(); t != nil {
+			s.tr = newObsTrace(t, cfg.Sockets)
+		}
 	}
 	return s, nil
 }
+
+// Obs exposes the observability collector (nil unless Config.Obs
+// requested observation); read its series and trace after Run.
+func (s *System) Obs() *obs.Collector { return s.obsc }
 
 // socketConfig applies socket i's topology resource overrides (SM
 // count, L2 capacity, DRAM) to the uniform configuration; with no
@@ -201,6 +220,9 @@ func (s *System) Fabric() *xlink.Fabric { return s.fabric }
 // RemoteRead implements gpu.Remote: request to home, home-side service,
 // data response back.
 func (s *System) RemoteRead(src, home arch.SocketID, l arch.LineID, done func()) {
+	if s.tr != nil {
+		done = s.traceXfer(s.tr.read, src, home, done)
+	}
 	s.fabric.RouteFunc(src, home, s.cfg.RequestHeader, func() {
 		s.sockets[home].HomeRead(l, func() {
 			s.fabric.RouteFunc(home, src, arch.LineSize+s.cfg.ResponseHeader, done)
@@ -210,6 +232,9 @@ func (s *System) RemoteRead(src, home arch.SocketID, l arch.LineID, done func())
 
 // RemoteWrite implements gpu.Remote: full line to home, small ack back.
 func (s *System) RemoteWrite(src, home arch.SocketID, l arch.LineID, done func()) {
+	if s.tr != nil {
+		done = s.traceXfer(s.tr.write, src, home, done)
+	}
 	s.fabric.RouteFunc(src, home, arch.LineSize+s.cfg.RequestHeader, func() {
 		s.sockets[home].HomeWrite(l, func() {
 			s.fabric.RouteFunc(home, src, s.cfg.RequestHeader, done)
@@ -219,12 +244,29 @@ func (s *System) RemoteWrite(src, home arch.SocketID, l arch.LineID, done func()
 
 // RemoteWriteBulk implements gpu.Remote for aggregated flush bursts.
 func (s *System) RemoteWriteBulk(src, home arch.SocketID, n int, done func()) {
+	if s.tr != nil {
+		done = s.traceXfer(s.tr.bulk, src, home, done)
+	}
 	size := n*arch.LineSize + s.cfg.RequestHeader
 	s.fabric.RouteFunc(src, home, size, func() {
 		s.sockets[home].HomeWriteBulk(n, func() {
 			s.fabric.RouteFunc(home, src, s.cfg.RequestHeader, done)
 		})
 	})
+}
+
+// traceXfer wraps a remote-protocol completion so the full round trip
+// lands in the trace ring as one span on (pid = src socket, tid = 1 +
+// home socket); tid 0 is the socket's kernel lane. Only built when
+// tracing is on — the off path costs a nil check per transfer.
+func (s *System) traceXfer(kind []int32, src, home arch.SocketID, done func()) func() {
+	r := s.tr.getRec(s.eng)
+	r.name = kind[int(src)*s.cfg.Sockets+int(home)]
+	r.pid = int32(src)
+	r.tid = int32(1 + home)
+	r.t0 = s.eng.Now()
+	r.done = done
+	return r.fire
 }
 
 // ---------------------------------------------------------------------
@@ -300,6 +342,9 @@ func (s *System) startPolicies() {
 	if s.profiler != nil {
 		s.profiler.start(s.eng)
 	}
+	if s.obsc != nil {
+		s.obsc.Start()
+	}
 }
 
 func (s *System) stopPolicies() {
@@ -312,11 +357,17 @@ func (s *System) stopPolicies() {
 	if s.profiler != nil {
 		s.profiler.stop()
 	}
+	if s.obsc != nil {
+		s.obsc.Stop()
+	}
 }
 
 // launchNext flushes the previous kernel's coherence state, waits for
 // the drain, then launches the next kernel (or finalizes the run).
 func (s *System) launchNext() {
+	if s.tr != nil {
+		s.tr.flushStart = s.eng.Now()
+	}
 	for _, sock := range s.sockets {
 		if s.kernelIdx < len(s.kernels) {
 			sock.FlushCaches()
@@ -326,6 +377,9 @@ func (s *System) launchNext() {
 	}
 	s.drain.WhenIdle(func() {
 		now := s.eng.Now()
+		if s.tr != nil {
+			s.tr.drainSpan(s.cfg.Sockets, now)
+		}
 		if s.kernelIdx >= len(s.kernels) {
 			s.endTime = now
 			s.finished = true
@@ -333,6 +387,9 @@ func (s *System) launchNext() {
 			return
 		}
 		k := s.kernels[s.kernelIdx]
+		if s.tr != nil {
+			s.tr.internKernel(s.kernelIdx, k.Name())
+		}
 		if s.fabric != nil {
 			s.fabric.ResetDesign(now)
 		}
@@ -383,7 +440,10 @@ func (s *System) partitionCTAs(k Kernel) [][]smcore.CTA {
 	return out
 }
 
-func (s *System) onSocketDone(arch.SocketID) {
+func (s *System) onSocketDone(id arch.SocketID) {
+	if s.tr != nil {
+		s.tr.kernelSpan(s.kernelIdx, id, s.kernelStart, s.eng.Now())
+	}
 	s.socketsLeft--
 	if s.socketsLeft > 0 {
 		return
@@ -462,6 +522,95 @@ func (s *System) LinkProfiles() ([]LinkProfile, []sim.Time) {
 		return nil, s.kernelMarks
 	}
 	return s.profiler.prof, s.kernelMarks
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace hooks (Config.Obs.Trace).
+// ---------------------------------------------------------------------
+
+// obsTrace holds the interned trace-name tables so every runtime hook
+// appends with a precomputed index: kernel waves per socket (pid =
+// socket, tid = 0), flush/drain phases on the trailing "runtime" track
+// (pid = Sockets), and remote transfers per (src, home) pair.
+type obsTrace struct {
+	t          *obs.Trace
+	kernels    []int32 // per-kernel span names, interned at launch
+	flushDrain int32
+	read       []int32 // src*Sockets+home
+	write      []int32
+	bulk       []int32
+	flushStart sim.Time
+	freeRec    *xferRec
+}
+
+// xferRec is one in-flight traced remote round trip. Records live on a
+// free list and carry a fire closure pre-bound at record construction
+// (the same pooling idiom as gpu's memTx/lineReq), so tracing a
+// transfer allocates nothing in steady state — closures are only built
+// when the free list grows.
+type xferRec struct {
+	o        *obsTrace
+	eng      *sim.Engine
+	name     int32
+	pid, tid int32
+	t0       sim.Time
+	done     func()
+	nextFree *xferRec
+	fire     func()
+}
+
+func (o *obsTrace) getRec(eng *sim.Engine) *xferRec {
+	r := o.freeRec
+	if r == nil {
+		r = &xferRec{o: o, eng: eng}
+		r.fire = func() {
+			r.o.t.Span(r.name, r.pid, r.tid, r.t0, r.eng.Now())
+			done := r.done
+			r.done = nil
+			r.nextFree = r.o.freeRec
+			r.o.freeRec = r
+			done()
+		}
+		return r
+	}
+	o.freeRec = r.nextFree
+	r.nextFree = nil
+	return r
+}
+
+func newObsTrace(t *obs.Trace, sockets int) *obsTrace {
+	o := &obsTrace{t: t, flushDrain: t.Intern("flush+drain")}
+	o.read = make([]int32, sockets*sockets)
+	o.write = make([]int32, sockets*sockets)
+	o.bulk = make([]int32, sockets*sockets)
+	for src := 0; src < sockets; src++ {
+		for home := 0; home < sockets; home++ {
+			i := src*sockets + home
+			o.read[i] = t.Intern(fmt.Sprintf("read s%d->s%d", src, home))
+			o.write[i] = t.Intern(fmt.Sprintf("write s%d->s%d", src, home))
+			o.bulk[i] = t.Intern(fmt.Sprintf("flush s%d->s%d", src, home))
+		}
+	}
+	return o
+}
+
+// internKernel names kernel idx's spans before its launch (allocates
+// once per kernel, never per event).
+func (o *obsTrace) internKernel(idx int, name string) {
+	for len(o.kernels) <= idx {
+		o.kernels = append(o.kernels, o.t.Intern(fmt.Sprintf("kernel %d %s", len(o.kernels), name)))
+	}
+}
+
+// kernelSpan records socket id's execution of kernel idx.
+func (o *obsTrace) kernelSpan(idx int, id arch.SocketID, start, end sim.Time) {
+	o.t.Span(o.kernels[idx], int32(id), 0, start, end)
+}
+
+// drainSpan records the flush+drain phase that just completed on the
+// runtime track.
+func (o *obsTrace) drainSpan(sockets int, now sim.Time) {
+	o.t.Span(o.flushDrain, int32(sockets), 0, o.flushStart, now)
 }
 
 func (s *System) String() string {

@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// obsProgram is a small real workload: big enough to cross several
+// sample periods and launch multiple kernels, small enough for unit
+// tests.
+func obsProgram(t *testing.T) core.Program {
+	t.Helper()
+	spec, ok := workload.ByName("HPC-CoMD")
+	if !ok {
+		t.Fatal("missing workload HPC-CoMD")
+	}
+	return spec.Program(workload.Options{IterScale: 0.2, MaxCTAs: 64})
+}
+
+func runObserved(t *testing.T, spec arch.ObsSpec) (*core.System, core.Result) {
+	t.Helper()
+	cfg := arch.TestConfig()
+	cfg.Obs = spec
+	sys := core.MustSystem(cfg)
+	res := sys.Run(obsProgram(t))
+	return sys, res
+}
+
+// TestObsOffNoCollector pins the off-by-default contract: a populated
+// but disabled ObsSpec must not attach a collector, and the result must
+// equal a run with the zero spec.
+func TestObsOffNoCollector(t *testing.T) {
+	sys, res := runObserved(t, arch.ObsSpec{SamplePeriod: 250, MaxSamples: 64, MaxTraceEvents: 64})
+	if sys.Obs() != nil {
+		t.Fatal("disabled ObsSpec attached a collector")
+	}
+	_, plain := runObserved(t, arch.ObsSpec{})
+	if !reflect.DeepEqual(res, plain) {
+		t.Fatalf("populated-but-disabled spec changed the result:\n%+v\nvs\n%+v", res, plain)
+	}
+}
+
+// TestObsOnByteInert is the core-level identity check under the golden
+// suite: the same program with full sampling and tracing enabled must
+// produce a deeply equal Result. Observation is read-only by
+// construction; this holds it to that.
+func TestObsOnByteInert(t *testing.T) {
+	_, plain := runObserved(t, arch.ObsSpec{})
+	sys, observed := runObserved(t, arch.ObsSpec{Series: true, Trace: true, SamplePeriod: 500})
+	if !reflect.DeepEqual(observed, plain) {
+		t.Fatalf("observation changed the result:\n%+v\nvs\n%+v", observed, plain)
+	}
+	col := sys.Obs()
+	if col == nil {
+		t.Fatal("enabled spec did not attach a collector")
+	}
+	var samples int
+	for _, s := range col.Series() {
+		samples += s.Len()
+	}
+	if samples == 0 {
+		t.Fatal("sampling on but no samples recorded")
+	}
+	if col.Trace() == nil || col.Trace().Len() == 0 {
+		t.Fatal("tracing on but no events recorded")
+	}
+}
+
+// TestObsTraceValid validates the emitted Chrome trace: legal phase
+// codes, required fields, per-track monotonic timestamps, and a clean
+// JSON round trip — the properties chrome://tracing and Perfetto rely
+// on.
+func TestObsTraceValid(t *testing.T) {
+	sys, _ := runObserved(t, arch.ObsSpec{Series: true, Trace: true, SamplePeriod: 500})
+	var buf bytes.Buffer
+	if err := sys.Obs().WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace.json does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	type track struct{ pid, tid int }
+	lastTs := make(map[track]float64)
+	var meta, spans, kernels int
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Pid == nil {
+			t.Fatalf("event %d missing name or pid: %+v", i, e)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Args["name"] == nil {
+				t.Fatalf("metadata event %d without args.name", i)
+			}
+		case "X":
+			spans++
+			if e.Ts == nil || e.Tid == nil {
+				t.Fatalf("span %d missing ts or tid: %+v", i, e)
+			}
+			if *e.Ts < 0 || e.Dur < 0 {
+				t.Fatalf("span %d has negative ts/dur: %+v", i, e)
+			}
+			k := track{*e.Pid, *e.Tid}
+			if *e.Ts < lastTs[k] {
+				t.Fatalf("span %d (%q) breaks monotonic ts on track %+v: %g < %g",
+					i, e.Name, k, *e.Ts, lastTs[k])
+			}
+			lastTs[k] = *e.Ts
+			if len(e.Name) > 7 && e.Name[:7] == "kernel " {
+				kernels++
+			}
+		default:
+			t.Fatalf("event %d has illegal phase %q", i, e.Ph)
+		}
+	}
+	if meta == 0 {
+		t.Fatal("no process_name metadata events")
+	}
+	if kernels == 0 {
+		t.Fatal("no kernel spans in trace")
+	}
+
+	// Round trip: the parsed document re-encodes and re-parses cleanly.
+	again, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if err := json.Unmarshal(again, &doc); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestSamplingAllocFree is the CI alloc gate for the hot paths: one
+// full sampling pass over every probe and one trace append must not
+// allocate. Allocation-free sampling is what makes the <2% overhead
+// budget (scripts/bench.sh obs_overhead) achievable.
+func TestSamplingAllocFree(t *testing.T) {
+	sys, _ := runObserved(t, arch.ObsSpec{Series: true, Trace: true, SamplePeriod: 500})
+	col := sys.Obs()
+	if allocs := testing.AllocsPerRun(100, func() {
+		col.SampleAll(1 << 30)
+	}); allocs != 0 {
+		t.Fatalf("SampleAll allocates %v per run, want 0", allocs)
+	}
+	tr := col.Trace()
+	name := tr.Intern("alloc-gate") // interning is the one allowed alloc, done up front
+	if allocs := testing.AllocsPerRun(100, func() {
+		tr.Span(name, 0, 0, 100, 200)
+	}); allocs != 0 {
+		t.Fatalf("Trace.Span allocates %v per run, want 0", allocs)
+	}
+}

@@ -128,7 +128,10 @@ func TestRunKeyCoversEveryConfigField(t *testing.T) {
 	// it computes; keying them would needlessly split shared caches.
 	// EngineShards: byte-identity is enforced by TestGoldenMastersSharded
 	// and core's TestShardedRunMatchesSerial.
-	policy := map[string]bool{"EngineShards": true}
+	// Obs: observation is read-only by construction; byte-identity with
+	// sampling on is enforced by TestObsOnByteIdentical and the exemption
+	// itself by TestRunKeyIgnoresObs.
+	policy := map[string]bool{"EngineShards": true, "Obs": true}
 	r := NewRunner(tinyOptions())
 	spec := r.opts.Workloads[0]
 	base := arch.PaperConfig()

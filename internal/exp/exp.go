@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -67,6 +68,20 @@ type Options struct {
 	// are byte-identical to the serial engine, so the setting is
 	// excluded from run and cache keys and never sent to a Backend.
 	EngineShards int
+	// Obs, when enabled, attaches the internal/obs observability layer
+	// to every local simulation. Execution policy like EngineShards:
+	// results are byte-identical with observation on, so the spec is
+	// excluded from run and cache keys and applied after key
+	// computation. An observed run must actually simulate, so the
+	// cache-read and Backend fast paths are skipped (results are still
+	// written back to the cache — they are the same bytes).
+	Obs arch.ObsSpec
+	// ObsSink receives each observed run's collector after the
+	// simulation finishes, before Run returns. Called once per unique
+	// run key (memoized repeats share the first call), serialized by
+	// the singleflight memo for a given key but concurrent across keys
+	// under RunAll.
+	ObsSink func(key string, spec workload.Spec, col *obs.Collector)
 }
 
 // DefaultOptions is the reference harness size (minutes for the full
@@ -213,7 +228,12 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 				e.panicked = p
 			}
 		}()
-		if c := r.opts.Cache; c != nil {
+		// An observed run must simulate locally: a cached or remote
+		// result has no series or trace to flush. Keys ignore Obs, so
+		// the result written back below is interchangeable with an
+		// unobserved one (byte-identity is the obs contract).
+		observed := r.opts.Obs.Enabled()
+		if c := r.opts.Cache; c != nil && !observed {
 			if res, ok := c.Get(key); ok {
 				res.Name = spec.Name
 				e.res = res
@@ -222,7 +242,7 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 			}
 			r.cacheMisses.Add(1)
 		}
-		if b := r.opts.Backend; b != nil {
+		if b := r.opts.Backend; b != nil && !observed {
 			res, err := b.Execute(key, cfg, spec, r.opts.workloadOptions())
 			switch {
 			case err == nil:
@@ -252,10 +272,17 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 			// split the memo or poison a shared cache.
 			simCfg.EngineShards = r.opts.EngineShards
 		}
+		if observed {
+			// Also post-key: observation must not change run identity.
+			simCfg.Obs = r.opts.Obs
+		}
 		sys := core.MustSystem(simCfg)
 		res := sys.Run(spec.Program(r.opts.workloadOptions()))
 		res.Name = spec.Name
 		e.res = res
+		if observed && r.opts.ObsSink != nil {
+			r.opts.ObsSink(key, spec, sys.Obs())
+		}
 		r.sims.Add(1)
 		if c := r.opts.Cache; c != nil {
 			c.Put(key, res)

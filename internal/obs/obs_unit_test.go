@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+func TestCollectorDefaults(t *testing.T) {
+	c := New(arch.ObsSpec{Series: true})
+	spec := c.Spec()
+	if spec.SamplePeriod != DefaultSamplePeriod || spec.MaxSamples != DefaultMaxSamples || spec.MaxTraceEvents != DefaultMaxTraceEvents {
+		t.Fatalf("zero fields not defaulted: %+v", spec)
+	}
+	if c.Trace() != nil {
+		t.Fatal("trace ring built without Trace in the spec")
+	}
+	if tc := New(arch.ObsSpec{Trace: true}); tc.Trace() == nil {
+		t.Fatal("Trace requested but no ring")
+	}
+}
+
+func TestSeriesRingWraparound(t *testing.T) {
+	c := New(arch.ObsSpec{Series: true, MaxSamples: 4})
+	s := c.newSeries("t/x", 0)
+	for i := 1; i <= 3; i++ {
+		s.record(sim100(i), float64(i))
+	}
+	if s.Len() != 3 || s.Dropped() != 0 {
+		t.Fatalf("pre-wrap: len %d dropped %d", s.Len(), s.Dropped())
+	}
+	for i := 4; i <= 10; i++ {
+		s.record(sim100(i), float64(i))
+	}
+	// Capacity 4, 10 recorded: the last 4 retained in time order, 6 dropped.
+	if s.Len() != 4 || s.Dropped() != 6 {
+		t.Fatalf("post-wrap: len %d dropped %d, want 4 and 6", s.Len(), s.Dropped())
+	}
+	for i := 0; i < 4; i++ {
+		want := float64(7 + i)
+		if p := s.At(i); p.Value != want || p.At != sim100(7+i) {
+			t.Fatalf("At(%d) = %+v, want value %g", i, p, want)
+		}
+	}
+}
+
+func sim100(i int) sim.Time { return sim.Time(i * 100) }
+
+func TestTraceInternAndDrop(t *testing.T) {
+	tr := newTrace(2)
+	a := tr.Intern("a")
+	if again := tr.Intern("a"); again != a {
+		t.Fatalf("re-interning changed the id: %d vs %d", again, a)
+	}
+	b := tr.Intern("b")
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	tr.Span(a, 0, 0, 10, 20)
+	tr.Span(b, 0, 0, 20, 30)
+	tr.Span(a, 0, 0, 30, 40) // ring full: dropped
+	if tr.Len() != 2 || tr.Dropped() != 1 {
+		t.Fatalf("len %d dropped %d, want 2 and 1", tr.Len(), tr.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, []string{"p0"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 { // 1 metadata + 2 spans
+		t.Fatalf("%d events, want 3", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Name != "process_name" {
+		t.Fatalf("first event is not process metadata: %+v", doc.TraceEvents[0])
+	}
+	if doc.OtherData["dropped_events"] != float64(1) {
+		t.Fatalf("dropped_events = %v, want 1", doc.OtherData["dropped_events"])
+	}
+}
+
+// TestWriteJSONSortsSpans records spans out of track/time order and
+// requires the flush to emit them sorted by (pid, tid, ts) — the
+// monotonicity property viewers rely on.
+func TestWriteJSONSortsSpans(t *testing.T) {
+	tr := newTrace(8)
+	n := tr.Intern("s")
+	tr.Span(n, 1, 0, 500, 600)
+	tr.Span(n, 0, 1, 300, 400)
+	tr.Span(n, 0, 0, 200, 250)
+	tr.Span(n, 0, 0, 100, 150)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ts       float64 `json:"ts"`
+			Pid, Tid int
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	prev := doc.TraceEvents[0]
+	for _, e := range doc.TraceEvents[1:] {
+		if e.Pid < prev.Pid ||
+			(e.Pid == prev.Pid && e.Tid < prev.Tid) ||
+			(e.Pid == prev.Pid && e.Tid == prev.Tid && e.Ts < prev.Ts) {
+			t.Fatalf("spans not sorted: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestSeriesFlushFormats(t *testing.T) {
+	c := New(arch.ObsSpec{Series: true, SamplePeriod: 100, MaxSamples: 8})
+	a := c.newSeries("socket0/x", 0)
+	b := c.newSeries("fabric/y", -1)
+	a.record(100, 0.5)
+	a.record(200, 0.25)
+	b.record(100, 3)
+
+	var csv bytes.Buffer
+	if err := c.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,cycle,value\nsocket0/x,100,0.5\nsocket0/x,200,0.25\nfabric/y,100,3\n"
+	if csv.String() != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", csv.String(), want)
+	}
+
+	doc := c.SeriesDocument()
+	if doc.SamplePeriod != 100 || len(doc.Series) != 2 {
+		t.Fatalf("document: %+v", doc)
+	}
+	if doc.Series[0].Name != "socket0/x" || doc.Series[0].Socket != 0 ||
+		len(doc.Series[0].Samples) != 2 || doc.Series[0].Samples[1] != [2]float64{200, 0.25} {
+		t.Fatalf("series[0]: %+v", doc.Series[0])
+	}
+	if doc.Series[1].Socket != -1 {
+		t.Fatalf("fabric series socket = %d, want -1", doc.Series[1].Socket)
+	}
+
+	var js bytes.Buffer
+	if err := c.WriteSeriesJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back SeriesDoc
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("series JSON does not round-trip: %v", err)
+	}
+	if back.SamplePeriod != 100 || len(back.Series) != 2 {
+		t.Fatalf("round-tripped document: %+v", back)
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Trace is the preallocated Chrome-trace event ring. Every recorded
+// event is a complete span ("X" phase): kernel waves and flush/drain
+// phases from the runtime, cross-socket transfers from the remote
+// protocol. Names are interned once into a table so the append path
+// carries only an index — Span is allocation-free. A full ring drops
+// new events (keeping the run's opening structure) and counts them.
+type Trace struct {
+	names   []string
+	byName  map[string]int32
+	events  []traceEvent
+	dropped uint64
+}
+
+type traceEvent struct {
+	name     int32
+	pid, tid int32
+	ts, dur  sim.Time
+}
+
+func newTrace(capEvents int) *Trace {
+	return &Trace{
+		byName: make(map[string]int32),
+		events: make([]traceEvent, 0, capEvents),
+	}
+}
+
+// Intern returns the table index for name, adding it on first sight
+// (the only allocating path; callers intern at construction time and
+// append with the index).
+func (t *Trace) Intern(name string) int32 {
+	if id, ok := t.byName[name]; ok {
+		return id
+	}
+	id := int32(len(t.names))
+	t.names = append(t.names, name)
+	t.byName[name] = id
+	return id
+}
+
+// Span records one complete event on track (pid, tid) from start to
+// end. Zero-alloc; events past the ring capacity are dropped and
+// counted.
+func (t *Trace) Span(name, pid, tid int32, start, end sim.Time) {
+	if len(t.events) == cap(t.events) {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, traceEvent{name: name, pid: pid, tid: tid, ts: start, dur: end - start})
+}
+
+// Len reports the number of retained events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Dropped reports events lost to ring exhaustion.
+func (t *Trace) Dropped() uint64 { return t.dropped }
+
+// WriteJSON flushes the ring as a Chrome trace (load chrome://tracing
+// or https://ui.perfetto.dev). procNames labels the pid tracks via
+// process_name metadata events. Events are sorted by (pid, tid, ts,
+// dur, name) so the output is deterministic and each track's
+// timestamps are monotonic. ts/dur are microseconds (the format's
+// unit); at the model's 1GHz clock one cycle is 1ns = 0.001us.
+//
+// The encoding is hand-rolled: a full ring is 64Ki spans, and at one
+// flush per observed run the reflection-based sort plus per-event
+// encoding/json round trips dominated the whole observability
+// overhead. Only the interned names and the proc names go through
+// json.Marshal (for escaping), once each; spans are appended with
+// strconv through one bufio.Writer.
+func (t *Trace) WriteJSON(w io.Writer, procNames []string) error {
+	evs := make([]traceEvent, len(t.events))
+	copy(evs, t.events)
+	names := t.names
+	slices.SortStableFunc(evs, func(a, b traceEvent) int {
+		if a.pid != b.pid {
+			return int(a.pid) - int(b.pid)
+		}
+		if a.tid != b.tid {
+			return int(a.tid) - int(b.tid)
+		}
+		if a.ts != b.ts {
+			if a.ts < b.ts {
+				return -1
+			}
+			return 1
+		}
+		if a.dur != b.dur {
+			if a.dur < b.dur {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(names[a.name], names[b.name])
+	})
+	quoted := make([][]byte, len(names))
+	for i, n := range names {
+		q, err := json.Marshal(n)
+		if err != nil {
+			return err
+		}
+		quoted[i] = q
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"traceEvents":[`)
+	for pid, name := range procNames {
+		q, err := json.Marshal(name)
+		if err != nil {
+			return err
+		}
+		if pid > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`{"name":"process_name","ph":"M","ts":0,"pid":`)
+		bw.WriteString(strconv.Itoa(pid))
+		bw.WriteString(`,"tid":0,"args":{"name":`)
+		bw.Write(q)
+		bw.WriteString(`}}`)
+	}
+	var num []byte
+	for i, e := range evs {
+		if i > 0 || len(procNames) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`{"name":`)
+		bw.Write(quoted[e.name])
+		bw.WriteString(`,"ph":"X","ts":`)
+		num = strconv.AppendFloat(num[:0], float64(e.ts)/1000, 'f', -1, 64)
+		bw.Write(num)
+		if e.dur != 0 {
+			bw.WriteString(`,"dur":`)
+			num = strconv.AppendFloat(num[:0], float64(e.dur)/1000, 'f', -1, 64)
+			bw.Write(num)
+		}
+		bw.WriteString(`,"pid":`)
+		num = strconv.AppendInt(num[:0], int64(e.pid), 10)
+		bw.Write(num)
+		bw.WriteString(`,"tid":`)
+		num = strconv.AppendInt(num[:0], int64(e.tid), 10)
+		bw.Write(num)
+		bw.WriteByte('}')
+	}
+	bw.WriteString(`],"displayTimeUnit":"ns"`)
+	if t.dropped > 0 {
+		bw.WriteString(`,"otherData":{"dropped_events":`)
+		bw.WriteString(strconv.FormatUint(t.dropped, 10))
+		bw.WriteString(`}`)
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+// WriteTrace flushes the collector's trace ring with per-socket process
+// names plus the trailing "runtime" track used for flush/drain phases.
+// It is an error to call it when the spec did not request tracing.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	names := make([]string, c.nProcs)
+	for i := 0; i < c.nProcs-1; i++ {
+		names[i] = fmt.Sprintf("socket%d", i)
+	}
+	if c.nProcs > 0 {
+		names[c.nProcs-1] = "runtime"
+	}
+	return c.trace.WriteJSON(w, names)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteSeriesCSV flushes every series as long-format CSV: one
+// "series,cycle,value" row per retained sample, series in registration
+// order, samples in time order. The format is the golden-fixture
+// surface (internal/exp TestObsSeriesGolden), so changes here are
+// schema changes. Rows are appended with strconv rather than fmt —
+// 'g'/-1 is the same shortest representation as fmt's %g, pinned by
+// the golden — because one flush per observed run over every retained
+// sample made fmt the dominant sampling-path overhead.
+func (c *Collector) WriteSeriesCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("series,cycle,value\n")
+	var num []byte
+	for _, s := range c.series {
+		for i := 0; i < s.Len(); i++ {
+			p := s.At(i)
+			bw.WriteString(s.Name)
+			bw.WriteByte(',')
+			num = strconv.AppendUint(num[:0], uint64(p.At), 10)
+			bw.Write(num)
+			bw.WriteByte(',')
+			num = strconv.AppendFloat(num[:0], p.Value, 'g', -1, 64)
+			bw.Write(num)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// SeriesDoc is the JSON flush shape, also embedded in numagpud sweep
+// results when a sweep requests observation.
+type SeriesDoc struct {
+	SamplePeriod int         `json:"sample_period"`
+	Series       []SeriesOut `json:"series"`
+}
+
+// SeriesOut is one series in the JSON flush: samples as [cycle, value]
+// pairs in time order.
+type SeriesOut struct {
+	Name    string       `json:"name"`
+	Socket  int          `json:"socket"`
+	Dropped uint64       `json:"dropped,omitempty"`
+	Samples [][2]float64 `json:"samples"`
+}
+
+// SeriesDocument builds the JSON flush value (flush-time allocation is
+// unconstrained).
+func (c *Collector) SeriesDocument() SeriesDoc {
+	doc := SeriesDoc{SamplePeriod: c.spec.SamplePeriod}
+	for _, s := range c.series {
+		out := SeriesOut{Name: s.Name, Socket: s.Socket, Dropped: s.Dropped(),
+			Samples: make([][2]float64, 0, s.Len())}
+		for i := 0; i < s.Len(); i++ {
+			p := s.At(i)
+			out.Samples = append(out.Samples, [2]float64{float64(p.At), p.Value})
+		}
+		doc.Series = append(doc.Series, out)
+	}
+	return doc
+}
+
+// WriteSeriesJSON flushes every series as one JSON document.
+func (c *Collector) WriteSeriesJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(c.SeriesDocument())
+}

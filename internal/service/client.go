@@ -170,9 +170,12 @@ func (c *Client) ExperimentResult(id string) (ExperimentResult, error) {
 }
 
 // SweepResult is the decoded result payload of a sweep job: one
-// core.Result per requested workload, in request order.
+// core.Result per requested workload, in request order. Obs is present
+// only when the request enabled observability; it is aligned
+// index-for-index with Results.
 type SweepResult struct {
 	Results []core.Result `json:"results"`
+	Obs     []*SweepObs   `json:"obs,omitempty"`
 }
 
 // SweepResult decodes a finished sweep job's result.

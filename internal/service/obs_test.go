@@ -1,0 +1,101 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/service"
+)
+
+// TestSweepObs exercises the sweep observability path end to end: a
+// request with an enabled obs block completes, ships per-run series
+// (and a parseable Chrome trace) in the job result aligned with the
+// results array, and changes neither the simulation results nor the
+// payload shape of plain sweeps.
+func TestSweepObs(t *testing.T) {
+	_, c, stop := newTestServer(t, "")
+	defer stop()
+
+	// Invalid spec is a client error, not a failed job.
+	bad := service.SweepRequest{
+		Sockets:   2,
+		Workloads: []string{"Other-Stream-Triad"},
+		Obs:       &arch.ObsSpec{Series: true, SamplePeriod: -1},
+	}
+	if _, err := c.SubmitSweep(bad); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("invalid obs spec: want 400, got %v", err)
+	}
+
+	observed, err := c.SubmitSweep(service.SweepRequest{
+		Sockets:   2,
+		Workloads: []string{"Other-Stream-Triad", "Rodinia-Hotspot"},
+		Obs:       &arch.ObsSpec{Series: true, Trace: true, SamplePeriod: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, c, observed.ID)
+	sweep, err := c.SweepResult(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 2 || len(sweep.Obs) != 2 {
+		t.Fatalf("observed sweep payload: %d results, %d obs entries, want 2 and 2", len(sweep.Results), len(sweep.Obs))
+	}
+	for i, o := range sweep.Obs {
+		if o == nil {
+			t.Fatalf("obs[%d] missing", i)
+		}
+		if o.Workload != sweep.Results[i].Name {
+			t.Fatalf("obs[%d] is for %q, results[%d] is %q: misaligned", i, o.Workload, i, sweep.Results[i].Name)
+		}
+		if len(o.Series.Series) == 0 {
+			t.Fatalf("obs[%d] has no series", i)
+		}
+		var samples int
+		for _, s := range o.Series.Series {
+			samples += len(s.Samples)
+		}
+		if samples == 0 {
+			t.Fatalf("obs[%d] series are all empty", i)
+		}
+		var trace struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(o.Trace, &trace); err != nil {
+			t.Fatalf("obs[%d] trace does not parse: %v", i, err)
+		}
+		if len(trace.TraceEvents) == 0 {
+			t.Fatalf("obs[%d] trace is empty", i)
+		}
+	}
+
+	// The same sweep without obs: identical results, no "obs" key in the
+	// payload (observation must not change what plain clients see).
+	plain, err := c.SubmitSweep(service.SweepRequest{
+		Sockets:   2,
+		Workloads: []string{"Other-Stream-Triad", "Rodinia-Hotspot"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pst := waitDone(t, c, plain.ID)
+	raw, err := c.Result(pst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte(`"obs"`)) {
+		t.Fatalf("plain sweep payload grew an obs key: %s", raw)
+	}
+	psweep, err := c.SweepResult(pst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(psweep.Results, sweep.Results) {
+		t.Fatalf("observation changed sweep results:\n%+v\nvs\n%+v", sweep.Results, psweep.Results)
+	}
+}

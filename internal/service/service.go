@@ -41,6 +41,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,6 +54,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
@@ -466,17 +468,68 @@ func (s *Server) execute(j *job) (payload []byte, err error) {
 		for i, spec := range specs {
 			reqs[i] = exp.RunRequest{Cfg: cfg, Spec: spec}
 		}
-		results := s.runner.RunAll(reqs)
-		return json.Marshal(struct {
-			Results []core.Result `json:"results"`
-		}{results})
+		if j.sweep.Obs == nil || !j.sweep.Obs.Enabled() {
+			results := s.runner.RunAll(reqs)
+			return json.Marshal(struct {
+				Results []core.Result `json:"results"`
+			}{results})
+		}
+		return s.executeObservedSweep(j.sweep, reqs)
 	}
 	return nil, fmt.Errorf("unknown job kind %q", j.kind)
 }
 
+// executeObservedSweep runs a sweep whose request asked for
+// observability series. Observed runs always simulate locally (the
+// runner skips both the disk-cache read path and the fabric backend so
+// the probes actually execute), so they get a dedicated one-off Runner:
+// its Obs options must not leak into the shared runner's memo, while the
+// disk cache underneath stays shared — observation does not change
+// results, so the Put-side bytes are identical and warm later unobserved
+// sweeps. The payload gains an "obs" array aligned index-for-index with
+// "results".
+func (s *Server) executeObservedSweep(req *SweepRequest, reqs []exp.RunRequest) ([]byte, error) {
+	opts := s.runner.Options()
+	opts.Obs = *req.Obs
+	var obsMu sync.Mutex
+	byKey := make(map[string]*SweepObs)
+	opts.ObsSink = func(key string, spec workload.Spec, col *obs.Collector) {
+		entry := &SweepObs{Workload: spec.Name, Series: col.SeriesDocument()}
+		if t := col.Trace(); t != nil {
+			var buf bytes.Buffer
+			if err := col.WriteTrace(&buf); err == nil {
+				entry.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+			}
+		}
+		obsMu.Lock()
+		byKey[key] = entry
+		obsMu.Unlock()
+	}
+	runner := exp.NewRunner(opts)
+	results := runner.RunAll(reqs)
+	obsOut := make([]*SweepObs, len(reqs))
+	for i, rr := range reqs {
+		obsOut[i] = byKey[runner.RunKey(rr.Cfg, rr.Spec)]
+	}
+	return json.Marshal(struct {
+		Results []core.Result `json:"results"`
+		Obs     []*SweepObs   `json:"obs"`
+	}{results, obsOut})
+}
+
+// SweepObs is one run's observability record in an observed sweep's
+// result payload: the sampled series document plus, when tracing was
+// requested, the complete Chrome-trace JSON object.
+type SweepObs struct {
+	Workload string          `json:"workload"`
+	Series   obs.SeriesDoc   `json:"series"`
+	Trace    json.RawMessage `json:"trace,omitempty"`
+}
+
 // SweepRequest is the POST /v1/sweeps body: a named configuration
 // preset plus overrides, applied to a list of workloads. The response
-// job's result is {"results":[core.Result...]} in workload order.
+// job's result is {"results":[core.Result...]} in workload order, plus
+// a parallel "obs" array when the request enables observability.
 type SweepRequest struct {
 	// Preset selects the starting configuration: "base" (locality-
 	// optimized software runtime, the default), "traditional"
@@ -503,6 +556,16 @@ type SweepRequest struct {
 	LinkSampleTime int    `json:"link_sample_time,omitempty"`
 	LaneSwitchTime int    `json:"lane_switch_time,omitempty"`
 	L2WriteThrough bool   `json:"l2_write_through,omitempty"`
+
+	// Obs, when present and enabled, samples per-socket and per-link
+	// time series (and optionally a Chrome trace) during every run of
+	// the sweep; the job result then carries an "obs" array aligned
+	// with "results". Observed runs always simulate locally on the
+	// serving daemon — the fabric and warm disk-cache entries are
+	// bypassed so the probes execute — making observed sweeps slower
+	// than plain ones. Results themselves are unchanged: observation is
+	// excluded from cache keys and enforced byte-inert.
+	Obs *arch.ObsSpec `json:"obs,omitempty"`
 }
 
 var cacheModes = map[string]arch.CacheMode{
@@ -562,6 +625,16 @@ func (s *Server) sweepPlan(req *SweepRequest) (arch.Config, []workload.Spec, err
 	}
 	if req.Topology != nil && req.Preset != "monolithic" {
 		cfg.Topology = req.Topology
+	}
+	if req.Obs != nil {
+		// Validate the spec against the resolved config exactly as a
+		// local run would (the runner applies it after key computation,
+		// so it is absent from cfg here).
+		probe := cfg
+		probe.Obs = *req.Obs
+		if err := probe.Validate(); err != nil {
+			return arch.Config{}, nil, err
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		return arch.Config{}, nil, err

@@ -136,6 +136,16 @@ func (l *Link) SendArg(dir Direction, size int, fn sim.ArgEvent, arg int) {
 	l.srv[dir].TransferArg(size, fn, arg)
 }
 
+// Backlog reports how many cycles of queued traffic dir's
+// serialization stage holds at now: 0 when the direction is idle. A
+// read-only queue-depth probe for the observability layer.
+func (l *Link) Backlog(dir Direction, now sim.Time) sim.Time {
+	if busy := l.srv[dir].BusyUntil(); busy > now {
+		return busy - now
+	}
+	return 0
+}
+
 // Utilization reports dir's utilization over the balancer window ending
 // at now.
 func (l *Link) Utilization(dir Direction, now sim.Time) float64 {

@@ -39,6 +39,9 @@ printf '%s\n' "$modelbench"
 quick_wall=null
 fig8_serial_wall=null
 fig8_shards4_wall=null
+fig3_obs_off_wall=null
+fig3_obs_on_wall=null
+obs_overhead_pct=null
 if [ "$RUN_QUICK" = 1 ]; then
   echo "timing numagpu -quick all (full 15-experiment suite)..." >&2
   bin=$(mktemp -t numagpu.XXXXXX)
@@ -63,6 +66,38 @@ if [ "$RUN_QUICK" = 1 ]; then
   fig8_shards4_wall=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
   cmp "$pq/fig8.serial" "$pq/fig8.shards4"
   rm -rf "$pq"
+
+  # Observability sampling overhead: fig3 with the series probes on
+  # (no -trace: tracing additionally writes a multi-MB trace.json per
+  # run, which is artifact I/O, not sampling cost) vs off on the same
+  # binary. The obs contract is byte-inert output (the cmp) and a
+  # sampling budget of < 2% wall (see docs/OBSERVABILITY.md);
+  # obs_overhead_pct lands in the history array so regressions in the
+  # sampling path show up as a trajectory, not an anecdote. Runs
+  # alternate off/on three times and the minima are compared, since a
+  # single pair is dominated by machine noise on shared runners.
+  echo "timing numagpu -quick fig3: sampling off vs -obs-dir, min of 3 (byte-compared)..." >&2
+  od=$(mktemp -d -t obsbench.XXXXXX)
+  for _ in 1 2 3; do
+    start=$(date +%s%N)
+    "$bin" -quick -j 1 -golden fig3 > "$od/fig3.off"
+    end=$(date +%s%N)
+    w=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
+    fig3_obs_off_wall=$(awk -v a="$fig3_obs_off_wall" -v b="$w" \
+      'BEGIN { printf "%.1f", (a == "null" || b+0 < a+0 ? b : a) }')
+    rm -rf "$od/obs"
+    start=$(date +%s%N)
+    "$bin" -quick -j 1 -golden -obs-dir "$od/obs" fig3 > "$od/fig3.on"
+    end=$(date +%s%N)
+    w=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", (e-s)/1e9 }')
+    fig3_obs_on_wall=$(awk -v a="$fig3_obs_on_wall" -v b="$w" \
+      'BEGIN { printf "%.1f", (a == "null" || b+0 < a+0 ? b : a) }')
+    cmp "$od/fig3.off" "$od/fig3.on"
+  done
+  obs_overhead_pct=$(awk -v off="$fig3_obs_off_wall" -v on="$fig3_obs_on_wall" \
+    'BEGIN { printf "%.1f", (off > 0 ? (on-off)/off*100 : 0) }')
+  echo "obs sampling overhead: fig3 ${fig3_obs_off_wall}s off vs ${fig3_obs_on_wall}s on (${obs_overhead_pct}%)" >&2
+  rm -rf "$od"
   rm -f "$bin"
 fi
 
@@ -132,6 +167,9 @@ current=$(printf '%s\n%s\n' "$engbench" "$modelbench" | awk \
   -v quick_wall="$quick_wall" \
   -v fig8_serial_wall="$fig8_serial_wall" \
   -v fig8_shards4_wall="$fig8_shards4_wall" \
+  -v fig3_obs_off_wall="$fig3_obs_off_wall" \
+  -v fig3_obs_on_wall="$fig3_obs_on_wall" \
+  -v obs_overhead_pct="$obs_overhead_pct" \
   -v benchtime="$BENCHTIME" \
   -v goversion="$(go env GOVERSION)" \
   -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -188,6 +226,11 @@ END {
   printf "    \"mshr_merge\": %s,\n",     mentry("BenchmarkModelMSHRMerge")
   printf "    \"socket_workload\": %s\n", mentry("BenchmarkModelSocketWorkload")
   printf "  },\n"
+  printf "  \"obs\": {\n"
+  printf "    \"fig3_quick_wall_off_seconds\": %s,\n", fig3_obs_off_wall
+  printf "    \"fig3_quick_wall_on_seconds\": %s,\n", fig3_obs_on_wall
+  printf "    \"overhead_pct\": %s\n", obs_overhead_pct
+  printf "  },\n"
   printf "  \"quick_all_wall_seconds\": %s\n", quick_wall
   printf "}\n"
 }')
@@ -217,6 +260,7 @@ if command -v jq >/dev/null 2>&1; then
         parallel_windowed4_ns_per_event: $cur.parallel.windowed_4shard.ns_per_event,
         parallel_lockstep4_ns_per_event: $cur.parallel.lockstep_4shard.ns_per_event,
         fig8_quick_shards4_wall_seconds: $cur.parallel.fig8_quick_shards4_wall_seconds,
+        obs_overhead_pct: $cur.obs.overhead_pct,
         model_l1_hit_ns: $cur.model.l1_hit.ns_per_op,
         model_l2_miss_ns: $cur.model.l2_miss.ns_per_op,
         model_mshr_merge_ns: $cur.model.mshr_merge.ns_per_op,
