@@ -19,6 +19,14 @@
 //	-cache dir          persistent result cache directory (default
 //	                    "numagpud-cache" under the current directory);
 //	                    empty disables persistence
+//	-state-dir dir      durable coordinator state (job + lease journal;
+//	                    default "state" under -cache). A restarted
+//	                    coordinator replays it and resumes in-flight
+//	                    sweeps; empty with no -cache disables durability
+//	-max-queue n        bound on queued-but-not-running jobs (default 64);
+//	                    beyond it submissions get 429 + Retry-After
+//	-tenant-quota f     per-tenant admission quota in jobs/minute, keyed
+//	                    by the X-Tenant header (0 = unlimited)
 //	-iterscale f        scale workload iteration counts (default 1.0)
 //	-divisor n          architecture scale divisor vs the paper machine (default 8)
 //	-maxctas n          cap grid sizes (0 = uncapped)
@@ -84,6 +92,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
 	cacheDir := flag.String("cache", "numagpud-cache", "persistent result cache directory (empty disables)")
+	stateDir := flag.String("state-dir", "", "durable coordinator state directory (default: \"state\" under -cache)")
+	maxQueue := flag.Int("max-queue", 64, "max queued jobs before submissions are shed with 429")
+	tenantQuota := flag.Float64("tenant-quota", 0, "per-tenant admission quota in jobs/minute, keyed by X-Tenant (0 = unlimited)")
 	iterScale := flag.Float64("iterscale", 1.0, "workload iteration scale")
 	divisor := flag.Int("divisor", 8, "architecture scale divisor")
 	maxCTAs := flag.Int("maxctas", 0, "cap grid sizes (0 = uncapped)")
@@ -148,7 +159,15 @@ func main() {
 	if *quick {
 		opts.IterScale = 0.25
 	}
-	cfg := service.Config{Options: opts, CacheDir: *cacheDir, Workers: *workers, LeaseTTL: *leaseTTL}
+	cfg := service.Config{
+		Options:     opts,
+		CacheDir:    *cacheDir,
+		StateDir:    *stateDir,
+		TenantQuota: *tenantQuota,
+		Workers:     *workers,
+		QueueDepth:  *maxQueue,
+		LeaseTTL:    *leaseTTL,
+	}
 	if *verbose {
 		cfg.Mirror = os.Stderr
 	}

@@ -42,6 +42,15 @@ type Backend interface {
 // (errors.Is is used to detect it).
 var ErrBackendUnavailable = errors.New("exp: backend unavailable")
 
+// ErrDeadlineExceeded signals that a Backend cancelled the run because
+// its job-level deadline passed before the run was placed. Unlike other
+// backend errors it is transient by construction — the same run
+// resubmitted without a deadline (or with a later one) would succeed —
+// so the Runner re-raises it to the caller but does NOT leave it
+// memoized: a later Run of the same key starts fresh instead of
+// replaying the stale cancellation.
+var ErrDeadlineExceeded = errors.New("exp: deadline exceeded")
+
 // NewRemoteRunner builds a Runner whose simulations execute through b,
 // typically a service.FabricClient pointed at a numagpud coordinator.
 // Everything else about the Runner is unchanged — the in-memory

@@ -32,6 +32,8 @@ func (b *fakeBackend) Execute(key string, cfg arch.Config, spec workload.Spec, o
 		return res, nil
 	case "unavailable":
 		return core.Result{}, fmt.Errorf("fleet empty: %w", ErrBackendUnavailable)
+	case "deadline":
+		return core.Result{}, fmt.Errorf("shard cancelled: %w", ErrDeadlineExceeded)
 	default:
 		return core.Result{}, errors.New("backend exploded")
 	}
@@ -106,6 +108,41 @@ func TestBackendHardErrorPanicsOnce(t *testing.T) {
 	mustPanic("memoized repeat")
 	if n := b.callCount(); n != 1 {
 		t.Fatalf("failed key retried: %d backend calls, want 1", n)
+	}
+}
+
+// TestBackendDeadlineErrorNotMemoized: deadline cancellation is
+// transient — it fails the current caller but, unlike a hard backend
+// error, must NOT poison the memo: resubmitting the same key after the
+// deadline storm retries the backend and succeeds.
+func TestBackendDeadlineErrorNotMemoized(t *testing.T) {
+	b := &fakeBackend{mode: "deadline"}
+	r := NewRemoteRunner(tinyOptions(), b)
+	spec := r.opts.Workloads[0]
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("deadline-cancelled run did not fail")
+			}
+			err, ok := p.(error)
+			if !ok || !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("panic payload = %v, want ErrDeadlineExceeded", p)
+			}
+		}()
+		r.Run(r.Base(2), spec)
+	}()
+
+	// The same key retried after the backend recovers must re-consult it
+	// and succeed — contrast TestBackendHardErrorPanicsOnce, where the
+	// second call never reaches the backend.
+	b.mode = "sim"
+	res := r.Run(r.Base(2), spec)
+	if res.Cycles == 0 {
+		t.Fatalf("retried run after deadline cancel: %+v", res)
+	}
+	if n := b.callCount(); n != 2 {
+		t.Fatalf("backend called %d times, want 2 (deadline error not memoized)", n)
 	}
 }
 

@@ -294,6 +294,16 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 		}
 	})
 	if e.panicked != nil {
+		if err, ok := e.panicked.(error); ok && errors.Is(err, ErrDeadlineExceeded) {
+			// A deadline cancellation is tied to the submitting job, not
+			// to the run: evict the spent memo entry so a later job can
+			// retry the key instead of inheriting the cancellation.
+			r.mu.Lock()
+			if r.memo[key] == e {
+				delete(r.memo, key)
+			}
+			r.mu.Unlock()
+		}
 		panic(e.panicked)
 	}
 	return e.res

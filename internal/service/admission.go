@@ -1,0 +1,185 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// admission is the submit-side load shedder: it bounds the job queue
+// with an explicit 429 + Retry-After (instead of an opaque failure) and
+// enforces per-tenant token-bucket quotas keyed by the X-Tenant header.
+// The shedding order is strict: new submissions are rejected first and
+// in-flight work is never shed — a job that got past admission runs to
+// completion (or its deadline).
+//
+// Retry-After is derived from observed load: queue depth × the EWMA of
+// per-job latency, divided across the worker pool, so a client backing
+// off as told arrives when a slot is plausibly free.
+type admission struct {
+	quota float64 // jobs per minute per tenant; 0 disables quotas
+
+	mu       sync.Mutex
+	buckets  map[string]*tokenBucket
+	ewmaSec  float64 // observed per-job latency, exponentially weighted
+	rejected map[admissionKey]uint64
+}
+
+type admissionKey struct {
+	Reason string
+	Tenant string
+}
+
+// tokenBucket is a standard leaky token bucket: capacity = one minute
+// of quota (the burst), refilled continuously at quota/minute.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admissionError rejects one submission. It carries the machine-readable
+// reason (the metric label) and the Retry-After hint.
+type admissionError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string {
+	return fmt.Sprintf("service: submission rejected (%s), retry after %s", e.reason, e.retryAfter.Round(time.Second))
+}
+
+func newAdmission(quota float64) *admission {
+	return &admission{
+		quota:    quota,
+		buckets:  make(map[string]*tokenBucket),
+		rejected: make(map[admissionKey]uint64),
+	}
+}
+
+// defaultTenant is the bucket the CLI and header-less clients share.
+const defaultTenant = "default"
+
+// admitTenant charges one job to tenant's bucket, rejecting with the
+// time until the next token when the bucket is dry.
+func (a *admission) admitTenant(tenant string) error {
+	if a.quota <= 0 {
+		return nil
+	}
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	rate := a.quota / 60.0 // tokens per second
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: a.quota, last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rate
+	if b.tokens > a.quota {
+		b.tokens = a.quota
+	}
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+		a.rejected[admissionKey{"quota", tenant}]++
+		return &admissionError{reason: "quota", retryAfter: wait}
+	}
+	b.tokens--
+	return nil
+}
+
+// rejectFull records a queue-full rejection and computes its
+// Retry-After from current load: the queued backlog times the observed
+// per-job latency, spread over the worker pool.
+func (a *admission) rejectFull(tenant string, queued, workers int) error {
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	a.mu.Lock()
+	lat := a.ewmaSec
+	a.rejected[admissionKey{"queue_full", tenant}]++
+	a.mu.Unlock()
+	if lat <= 0 {
+		lat = 1 // no sample yet: assume a second per job
+	}
+	wait := time.Duration(lat * float64(queued) / float64(workers) * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return &admissionError{reason: "queue_full", retryAfter: wait}
+}
+
+// refundTenant returns one token after a submission that passed the
+// quota check but failed a later admission stage, so a rejected request
+// does not consume quota.
+func (a *admission) refundTenant(tenant string) {
+	if a.quota <= 0 {
+		return
+	}
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b, ok := a.buckets[tenant]; ok && b.tokens < a.quota {
+		b.tokens++
+	}
+}
+
+// observe feeds one finished job's wall time into the latency EWMA.
+func (a *admission) observe(d time.Duration) {
+	const alpha = 0.3
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sec := d.Seconds()
+	if a.ewmaSec == 0 {
+		a.ewmaSec = sec
+		return
+	}
+	a.ewmaSec = alpha*sec + (1-alpha)*a.ewmaSec
+}
+
+// rejections snapshots the rejection counters, sorted for deterministic
+// metric rendering.
+func (a *admission) rejections() []struct {
+	Key   admissionKey
+	Count uint64
+} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]struct {
+		Key   admissionKey
+		Count uint64
+	}, 0, len(a.rejected))
+	for k, c := range a.rejected {
+		out = append(out, struct {
+			Key   admissionKey
+			Count uint64
+		}{k, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Reason != out[j].Key.Reason {
+			return out[i].Key.Reason < out[j].Key.Reason
+		}
+		return out[i].Key.Tenant < out[j].Key.Tenant
+	})
+	return out
+}
+
+// rejectedTotal sums rejections across reasons and tenants.
+func (a *admission) rejectedTotal() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for _, c := range a.rejected {
+		n += c
+	}
+	return n
+}

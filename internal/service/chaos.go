@@ -1,0 +1,167 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// faultTransport is the fault-injection half of the chaos harness: an
+// http.RoundTripper that wraps a real transport and, driven by a seeded
+// RNG, drops requests before they are sent, drops responses after the
+// server has already acted, duplicates deliveries, delays round trips,
+// and simulates hard partitions. Every probability is independent per
+// request, so a single round trip can be both delayed and duplicated.
+//
+// The two drop modes are deliberately distinct failure semantics:
+//
+//   - a request drop looks like a connect failure — the server never
+//     saw it, so client retries are trivially safe;
+//   - a response drop means the server DID process the request but the
+//     client cannot know — the classic at-least-once hazard. Retrying a
+//     poll after one is exactly how duplicate lease grants or double
+//     result ingest would happen, which is what the Seq/Holding
+//     protocol and the coordinator's exactly-once guard must absorb.
+//
+// All configuration is read under mu, so a chaos driver may flip
+// probabilities (or the partition switch) while requests are in flight.
+type faultTransport struct {
+	base http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropReq  float64 // P(fail before the server sees the request)
+	dropResp float64 // P(fail after the server processed it)
+	dup      float64 // P(deliver the request twice)
+	delay    float64 // P(sleep before delivering)
+	maxDelay time.Duration
+	cut      bool // hard partition: everything fails fast
+
+	// Injection counters, for test assertions and failure logging.
+	droppedReqs, droppedResps, dups, delays, cutoffs int64
+}
+
+// newFaultTransport seeds a harness over base (http.DefaultTransport
+// when nil). The same seed replays the same fault schedule given the
+// same request sequence — print it on failure and a flake reproduces.
+func newFaultTransport(base http.RoundTripper, seed int64) *faultTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// errInjected marks every harness-made failure so tests can tell
+// injected faults from real ones.
+var errInjected = errors.New("service: chaos: injected fault")
+
+// chaosPlan is one request's sampled fault decisions.
+type chaosPlan struct {
+	dropReq, dropResp, dup bool
+	sleep                  time.Duration
+	cut                    bool
+}
+
+func (t *faultTransport) plan() chaosPlan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var p chaosPlan
+	if t.cut {
+		t.cutoffs++
+		return chaosPlan{cut: true}
+	}
+	if t.rng.Float64() < t.delay && t.maxDelay > 0 {
+		p.sleep = time.Duration(t.rng.Int63n(int64(t.maxDelay)))
+		t.delays++
+	}
+	switch {
+	case t.rng.Float64() < t.dropReq:
+		p.dropReq = true
+		t.droppedReqs++
+	case t.rng.Float64() < t.dropResp:
+		p.dropResp = true
+		t.droppedResps++
+	case t.rng.Float64() < t.dup:
+		p.dup = true
+		t.dups++
+	}
+	return p
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := t.plan()
+	if p.cut {
+		return nil, fmt.Errorf("%w: partitioned", errInjected)
+	}
+	if p.sleep > 0 {
+		time.Sleep(p.sleep)
+	}
+	if p.dropReq {
+		return nil, fmt.Errorf("%w: request dropped", errInjected)
+	}
+	if p.dup {
+		if extra, err := cloneRequest(req); err == nil {
+			if resp, err := t.base.RoundTrip(extra); err == nil {
+				// First delivery consumed; the caller gets the second.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if p.dropResp {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response dropped (request was processed)", errInjected)
+	}
+	return resp, nil
+}
+
+// cloneRequest builds a re-sendable copy of req. Requests built by
+// http.NewRequest from a bytes.Reader (every JSON call in this package)
+// carry GetBody; anything else with a body cannot be duplicated.
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	clone := req.Clone(req.Context())
+	if req.Body == nil {
+		return clone, nil
+	}
+	if req.GetBody == nil {
+		return nil, errors.New("service: chaos: request body not replayable")
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	clone.Body = body
+	return clone, nil
+}
+
+// set applies a fault profile atomically.
+func (t *faultTransport) set(dropReq, dropResp, dup, delay float64, maxDelay time.Duration) {
+	t.mu.Lock()
+	t.dropReq, t.dropResp, t.dup, t.delay, t.maxDelay = dropReq, dropResp, dup, delay, maxDelay
+	t.mu.Unlock()
+}
+
+// partition opens (true) or heals (false) a hard partition.
+func (t *faultTransport) partition(cut bool) {
+	t.mu.Lock()
+	t.cut = cut
+	t.mu.Unlock()
+}
+
+// counts snapshots the injection counters.
+func (t *faultTransport) counts() (droppedReqs, droppedResps, dups, delays, cutoffs int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedReqs, t.droppedResps, t.dups, t.delays, t.cutoffs
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -28,9 +29,12 @@ func NewClient(base string) *Client {
 }
 
 // apiError is the decoded {"error": "..."} body of a non-2xx reply.
+// RetryAfter carries the parsed Retry-After header (0 when absent) so
+// shed clients can honor the server's backoff hint.
 type apiError struct {
-	Status  int
-	Message string
+	Status     int
+	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
@@ -88,7 +92,13 @@ func (c *Client) raw(method, path string, in any) ([]byte, error) {
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+		ae := &apiError{Status: resp.StatusCode, Message: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, ae
 	}
 	return body, nil
 }

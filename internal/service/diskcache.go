@@ -127,10 +127,17 @@ func (c *DiskCache) Stats() DiskStats {
 	return c.stats
 }
 
-// walk counts entries and bytes on disk (open-time seeding).
+// walk counts entries and bytes on disk (open-time seeding). The
+// default state directory (the coordinator journal, see journal.go)
+// nests under the cache root and is not cache content, so it is
+// skipped.
 func (c *DiskCache) walk() DiskStats {
 	var st DiskStats
+	stateDir := filepath.Join(c.dir, "state")
 	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && d.IsDir() && path == stateDir {
+			return fs.SkipDir
+		}
 		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
 			return nil
 		}

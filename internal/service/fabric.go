@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -47,23 +48,47 @@ type fabric struct {
 	leaseTTL time.Duration
 	poll     time.Duration
 
+	// cache, when non-nil, receives every worker-produced result at
+	// ingest time (in addition to the Runner's own write-through). This
+	// matters after a coordinator restart: a resumed shard's result can
+	// arrive before any local waiter exists, and persisting it here is
+	// what lets the re-executed job hit the cache instead of simulating
+	// the key a second time.
+	cache *DiskCache
+	// jnl, when non-nil, records every grant, completion, and requeue so
+	// a restarted coordinator can rebuild the lease picture.
+	jnl *journal
+	// deadlineFn, when non-nil, reports the job-level deadline to stamp
+	// on newly created shards (zero = none). See Server.activeDeadline.
+	deadlineFn func() time.Time
+
 	mu      sync.Mutex
 	closed  bool
+	frozen  bool // kill -9 simulation: everything stops, nothing resolves
 	workers map[string]*fabWorker
 	shards  map[string]*shard // in-flight (pending or leased), by RunKey
 	queue   []*shard          // pending shards, FIFO; lazily compacted
 	nextWID int
 	nextSID int
 
+	// graceUntil, when armed after a journal replay, suppresses the
+	// no-workers local-simulation fallback: a restarted coordinator
+	// gives its fleet one lease TTL to re-register before concluding it
+	// has none. graceArmed distinguishes "armed" from "expired".
+	graceUntil time.Time
+	graceArmed bool
+
 	// Counters (guarded by mu). shardsTotal counts unique RunKeys that
 	// ever entered the fabric; completed counts shards finished with a
 	// worker-produced result.
-	shardsTotal  uint64
-	completed    uint64
-	failed       uint64
-	requeued     uint64
-	staleResults uint64
-	workersSeen  uint64
+	shardsTotal       uint64
+	completed         uint64
+	failed            uint64
+	requeued          uint64
+	staleResults      uint64
+	workersSeen       uint64
+	resumed           uint64 // shards rebuilt from journaled grants at restart
+	deadlineCancelled uint64
 	// departed holds the last absolute counters reported by each
 	// dead/deregistered worker process. Workers report cumulative
 	// per-process stats and are keyed by a stable process ID across
@@ -85,6 +110,7 @@ type fabWorker struct {
 	window   int
 	leased   map[string]*shard // by RunKey
 	lastSeen time.Time
+	lastSeq  int64     // highest PollRequest.Seq processed (0: legacy client)
 	stats    exp.Stats // absolute per-process counters, as of the last poll
 }
 
@@ -125,6 +151,20 @@ type shard struct {
 	res       core.Result
 	err       error
 	done      chan struct{}
+
+	// deadline, when non-zero, is the job-level deadline: a pending
+	// shard past it is cancelled by the janitor. Leased shards always
+	// run to completion — in-flight work is never shed.
+	deadline time.Time
+
+	// resumedProc, when non-empty, reserves a shard rebuilt from a
+	// journaled grant for the worker process that held the lease before
+	// the coordinator restarted: that process is still simulating the
+	// key and will ship the result after it re-registers. The
+	// reservation holds until resumedUntil, then the shard re-queues
+	// normally (the prior owner died too).
+	resumedProc  string
+	resumedUntil time.Time
 }
 
 // errNoWorkers is the internal unavailability signal: the dispatcher
@@ -132,17 +172,76 @@ type shard struct {
 var errNoWorkers = errors.New("service: no live fabric workers")
 
 func newFabric(leaseTTL, poll time.Duration) *fabric {
+	return newFabricState(leaseTTL, poll, nil, nil, nil)
+}
+
+// newFabricState builds a fabric wired to the durable layer: the shared
+// DiskCache, the journal, and the granted-but-uncompleted shards
+// recovered from it. Each recovered grant becomes a resumed shard
+// reserved for its prior owner process; any replay that recovered state
+// also arms the no-workers grace window so re-executed jobs wait for
+// the fleet to re-register instead of failing over to local simulation.
+func newFabricState(leaseTTL, poll time.Duration, cache *DiskCache, jnl *journal, grants []grantRecord) *fabric {
 	f := &fabric{
 		leaseTTL:    leaseTTL,
 		poll:        poll,
+		cache:       cache,
+		jnl:         jnl,
 		workers:     make(map[string]*fabWorker),
 		shards:      make(map[string]*shard),
 		departed:    make(map[string]exp.Stats),
 		stop:        make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	now := time.Now()
+	for _, g := range grants {
+		if cache != nil {
+			if _, ok := cache.Get(g.Key); ok {
+				// Already completed and persisted; the re-executed job
+				// will hit the cache. Resolve the stale grant record.
+				if jnl != nil {
+					jnl.append(journalRecord{T: "complete", Key: g.Key})
+				}
+				continue
+			}
+		}
+		f.nextSID++
+		f.shards[g.Key] = &shard{
+			id:           f.nextSID,
+			run:          WireRun{Key: g.Key}, // Cfg restored when a waiter joins
+			done:         make(chan struct{}),
+			resumedProc:  g.Proc,
+			resumedUntil: now.Add(leaseTTL),
+		}
+		f.shardsTotal++
+		f.resumed++
+	}
 	go f.janitor()
 	return f
+}
+
+// armGrace opens the no-workers grace window: until it expires, a
+// coordinator with zero registered workers queues work instead of
+// reporting errNoWorkers (which would fail it over to local
+// simulation). Called once, before any job can reach execute.
+func (f *fabric) armGrace() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.graceArmed = true
+	f.graceUntil = time.Now().Add(f.leaseTTL)
+}
+
+// graceActiveLocked reports whether the restart grace window is open.
+func (f *fabric) graceActiveLocked() bool {
+	return f.graceArmed && time.Now().Before(f.graceUntil)
+}
+
+// recovering reports whether the fabric is still waiting for its fleet
+// to re-register after a restart (the readiness probe's input).
+func (f *fabric) recovering() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.workers) == 0 && f.graceActiveLocked()
 }
 
 // close fails every in-flight shard with errNoWorkers (waiters fall
@@ -150,58 +249,129 @@ func newFabric(leaseTTL, poll time.Duration) *fabric {
 // stops the janitor.
 func (f *fabric) close() {
 	f.mu.Lock()
-	if f.closed {
+	if f.closed || f.frozen {
 		f.mu.Unlock()
 		return
 	}
 	f.closed = true
+	f.graceArmed = false
 	f.failAllLocked()
 	f.mu.Unlock()
 	close(f.stop)
 	<-f.janitorDone
 }
 
+// freeze is the kill -9 simulation used by the restart and chaos tests:
+// the janitor stops and every mutation is rejected, but — unlike close —
+// no shard is resolved and no waiter is woken, exactly as if the
+// process had died. Blocked waiters stay blocked forever; the "process"
+// is gone.
+func (f *fabric) freeze() {
+	f.mu.Lock()
+	if f.closed || f.frozen {
+		f.mu.Unlock()
+		return
+	}
+	f.frozen = true
+	f.mu.Unlock()
+	close(f.stop)
+	<-f.janitorDone
+}
+
 // janitor periodically expires workers whose heartbeat (poll) is older
-// than the lease TTL, re-queueing their leased shards.
+// than the lease TTL (re-queueing their leased shards), re-queues
+// resumed shards whose prior owner never returned, cancels pending
+// shards past their deadline, and closes out the restart grace window.
+// The tick is leaseTTL/4 with ±50% jitter so a fleet of coordinators
+// never thunders in lockstep, re-armed per iteration and stopped
+// cleanly on close/freeze (no tick can fire after stop).
 func (f *fabric) janitor() {
 	defer close(f.janitorDone)
-	tick := f.leaseTTL / 4
-	if tick <= 0 {
-		tick = time.Second
+	base := f.leaseTTL / 4
+	if base <= 0 {
+		base = time.Second
 	}
-	t := time.NewTicker(tick)
+	jitter := func() time.Duration {
+		return base/2 + time.Duration(rand.Int63n(int64(base)))
+	}
+	t := time.NewTimer(jitter())
 	defer t.Stop()
 	for {
 		select {
 		case <-f.stop:
 			return
 		case now := <-t.C:
-			f.mu.Lock()
-			for _, w := range f.workers {
-				if now.Sub(w.lastSeen) > f.leaseTTL {
-					f.removeWorkerLocked(w)
-				}
-			}
-			f.mu.Unlock()
+			f.sweepExpired(now)
+			t.Reset(jitter())
 		}
 	}
+}
+
+// sweepExpired is one janitor pass.
+func (f *fabric) sweepExpired(now time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.frozen {
+		return
+	}
+	for _, w := range f.workers {
+		if now.Sub(w.lastSeen) > f.leaseTTL {
+			f.removeWorkerLocked(w)
+		}
+	}
+	for _, sh := range f.shards {
+		if sh.completed || sh.owner != nil {
+			continue
+		}
+		if sh.resumedProc != "" {
+			// Reserved for a pre-restart owner; give it up only when the
+			// reservation expires (the prior process died too).
+			if now.After(sh.resumedUntil) {
+				sh.resumedProc = ""
+				f.requeueLocked(sh)
+			}
+			continue
+		}
+		if !sh.deadline.IsZero() && now.After(sh.deadline) {
+			// Deadline passed while still pending: cancel. Leased shards
+			// never take this path — in-flight work is never shed.
+			f.deadlineCancelled++
+			f.completeLocked(sh, core.Result{}, fmt.Errorf("service: shard cancelled: %w", exp.ErrDeadlineExceeded))
+		}
+	}
+	if f.graceArmed && now.After(f.graceUntil) {
+		f.graceArmed = false
+		if len(f.workers) == 0 {
+			// The fleet never came back: fall over to local simulation.
+			f.failAllLocked()
+		}
+	}
+}
+
+// requeueLocked returns a pending shard to the front of the queue and
+// journals the lease release.
+func (f *fabric) requeueLocked(sh *shard) {
+	f.queue = append([]*shard{sh}, f.queue...)
+	f.requeued++
+	f.jnl.append(journalRecord{T: "requeue", Key: sh.run.Key})
 }
 
 // removeWorkerLocked drops a worker (death or deregistration),
 // re-queueing its leased shards at the front of the pending queue and
 // folding its last-reported stats into the departed accumulator. If it
 // was the last worker, every in-flight shard is failed with
-// errNoWorkers so waiters fall back to local simulation.
+// errNoWorkers so waiters fall back to local simulation — unless the
+// restart grace window is open, in which case the shards stay queued
+// for the fleet that is still re-registering.
 func (f *fabric) removeWorkerLocked(w *fabWorker) {
 	delete(f.workers, w.id)
 	f.departed[w.statsKey()] = maxStats(f.departed[w.statsKey()], w.stats)
 	for _, sh := range w.leased {
 		sh.owner = nil
-		f.queue = append([]*shard{sh}, f.queue...)
-		f.requeued++
+		f.requeueLocked(sh)
 	}
 	w.leased = nil
-	if len(f.workers) == 0 {
+	if len(f.workers) == 0 && !f.graceActiveLocked() {
 		f.failAllLocked()
 	}
 }
@@ -219,6 +389,9 @@ func (f *fabric) failAllLocked() {
 }
 
 // completeLocked finishes a shard exactly once: records the outcome,
+// persists a successful result straight into the disk cache (so a
+// result arriving before any local waiter — possible only after a
+// restart — still dedupes future executions), journals the resolution,
 // releases the lease, removes it from the in-flight table, and wakes
 // the waiter.
 func (f *fabric) completeLocked(sh *shard, res core.Result, err error) {
@@ -235,9 +408,13 @@ func (f *fabric) completeLocked(sh *shard, res core.Result, err error) {
 	switch {
 	case err == nil:
 		f.completed++
+		if f.cache != nil {
+			f.cache.Put(sh.run.Key, res)
+		}
 	case !errors.Is(err, errNoWorkers):
 		f.failed++
 	}
+	f.jnl.append(journalRecord{T: "complete", Key: sh.run.Key})
 	close(sh.done)
 }
 
@@ -247,17 +424,41 @@ func (f *fabric) completeLocked(sh *shard, res core.Result, err error) {
 // because every caller goes through a Runner's singleflight memo first.
 func (f *fabric) execute(run WireRun) (core.Result, error) {
 	f.mu.Lock()
-	if f.closed || len(f.workers) == 0 {
+	if f.frozen {
+		// The process is "dead" (restart test): nothing resolves, ever.
+		f.mu.Unlock()
+		select {}
+	}
+	if f.closed || (len(f.workers) == 0 && !f.graceActiveLocked()) {
 		f.mu.Unlock()
 		return core.Result{}, errNoWorkers
+	}
+	var deadline time.Time
+	if f.deadlineFn != nil {
+		deadline = f.deadlineFn()
 	}
 	sh, ok := f.shards[run.Key]
 	if !ok {
 		f.nextSID++
-		sh = &shard{id: f.nextSID, run: run, done: make(chan struct{})}
+		sh = &shard{id: f.nextSID, run: run, done: make(chan struct{}), deadline: deadline}
 		f.shards[run.Key] = sh
 		f.queue = append(f.queue, sh)
 		f.shardsTotal++
+	} else {
+		if sh.run.Workload == "" {
+			// A resumed shard knows only its RunKey until the re-executed
+			// job re-derives the full run; fill it in so a post-expiry
+			// grant ships a complete WireRun.
+			sh.run = run
+		}
+		// Two jobs sharing one shard: cancel only when every waiter has
+		// a deadline, at the latest of them. A deadline-less waiter pins
+		// the shard (in-flight work is never shed for a live job).
+		if deadline.IsZero() || sh.deadline.IsZero() {
+			sh.deadline = time.Time{}
+		} else if deadline.After(sh.deadline) {
+			sh.deadline = deadline
+		}
 	}
 	f.mu.Unlock()
 	<-sh.done
@@ -271,7 +472,7 @@ func (f *fabric) register(name, process string, window int) (RegisterResponse, e
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.closed {
+	if f.closed || f.frozen {
 		return RegisterResponse{}, errNoWorkers
 	}
 	f.nextWID++
@@ -288,6 +489,21 @@ func (f *fabric) register(name, process string, window int) (RegisterResponse, e
 		w.name = w.id
 	}
 	f.workers[w.id] = w
+	// Adopt any resumed shards reserved for this worker process: its
+	// pre-restart registration held their leases, and the process is
+	// still simulating them (or holds their finished results in its
+	// outbox). Re-leasing them to it keeps the reservation visible to
+	// lease expiry and window accounting.
+	if process != "" {
+		for _, sh := range f.shards {
+			if sh.resumedProc == process && sh.owner == nil && !sh.completed {
+				sh.resumedProc = ""
+				sh.owner = w
+				w.leased[sh.run.Key] = sh
+				f.jnl.append(journalRecord{T: "grant", Key: sh.run.Key, Proc: process})
+			}
+		}
+	}
 	return RegisterResponse{
 		WorkerID:   w.id,
 		LeaseTTLMs: f.leaseTTL.Milliseconds(),
@@ -313,17 +529,29 @@ func (f *fabric) deregister(id string) error {
 }
 
 // pollWorker is one heartbeat round trip: ingest the worker's finished
-// results, refresh its lease, and grant it new shards up to the free
-// slice of its window.
+// results, refresh its lease, reconcile the lease picture against what
+// the worker reports actually holding, and grant it new shards up to
+// the free slice of its window.
+//
+// Req.Seq orders a worker's polls: a request whose Seq was already
+// processed is a duplicated delivery (retry or injected fault) — its
+// results are still ingested (idempotent under the exactly-once guard)
+// but it neither reconciles nor receives grants, so a stale duplicate
+// racing a fresh poll can never requeue or double-lease shards. Seq 0
+// marks a legacy client: always treated as fresh, never reconciled.
 func (f *fabric) pollWorker(req PollRequest) (PollResponse, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	w, ok := f.workers[req.WorkerID]
-	if !ok || f.closed {
+	if !ok || f.closed || f.frozen {
 		return PollResponse{}, errUnknownWorker
 	}
 	w.lastSeen = time.Now()
 	w.stats = req.Stats
+	fresh := req.Seq == 0 || req.Seq > w.lastSeq
+	if req.Seq > w.lastSeq {
+		w.lastSeq = req.Seq
+	}
 
 	for _, r := range req.Results {
 		sh, ok := f.shards[r.Key]
@@ -347,20 +575,51 @@ func (f *fabric) pollWorker(req PollRequest) (PollResponse, error) {
 
 	var resp PollResponse
 	resp.PollMs = f.poll.Milliseconds()
+	if !fresh {
+		return resp, nil
+	}
+
+	if req.Seq > 0 {
+		// Reconcile: a shard leased to this worker that it does not
+		// report holding was granted in a response the worker never
+		// received (dropped or duplicated delivery). Requeue it now
+		// instead of waiting a full lease TTL.
+		held := make(map[string]bool, len(req.Holding))
+		for _, k := range req.Holding {
+			held[k] = true
+		}
+		for key, sh := range w.leased {
+			if !held[key] {
+				delete(w.leased, key)
+				sh.owner = nil
+				f.requeueLocked(sh)
+			}
+		}
+	}
+
 	want := req.Want
 	if free := w.window - len(w.leased); want > free {
 		want = free
 	}
+	var deferred []*shard // resumed shards not yet re-derived: ungrantable
 	for want > 0 && len(f.queue) > 0 {
 		sh := f.queue[0]
 		f.queue = f.queue[1:]
 		if sh.completed || sh.owner != nil {
 			continue // lazily dropped (stale queue entry)
 		}
+		if sh.run.Workload == "" {
+			deferred = append(deferred, sh)
+			continue
+		}
 		sh.owner = w
 		w.leased[sh.run.Key] = sh
+		f.jnl.append(journalRecord{T: "grant", Key: sh.run.Key, Proc: w.statsKey()})
 		resp.Shards = append(resp.Shards, WireShard{ID: sh.id, Run: sh.run})
 		want--
+	}
+	if len(deferred) > 0 {
+		f.queue = append(deferred, f.queue...)
 	}
 	return resp, nil
 }
@@ -368,30 +627,34 @@ func (f *fabric) pollWorker(req PollRequest) (PollResponse, error) {
 // snapshot captures the fabric's observable state for /metrics and
 // /v1/fabric.
 type fabricSnapshot struct {
-	WorkersLive  int
-	WorkersSeen  uint64
-	Pending      int
-	Leased       int
-	ShardsTotal  uint64
-	Completed    uint64
-	Failed       uint64
-	Requeued     uint64
-	StaleResults uint64
-	WorkerStats  exp.Stats // departed + last report of every live worker
-	Workers      []FabricWorkerStatus
+	WorkersLive       int
+	WorkersSeen       uint64
+	Pending           int
+	Leased            int
+	ShardsTotal       uint64
+	Completed         uint64
+	Failed            uint64
+	Requeued          uint64
+	StaleResults      uint64
+	Resumed           uint64
+	DeadlineCancelled uint64
+	WorkerStats       exp.Stats // departed + last report of every live worker
+	Workers           []FabricWorkerStatus
 }
 
 func (f *fabric) snapshot() fabricSnapshot {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := fabricSnapshot{
-		WorkersLive:  len(f.workers),
-		WorkersSeen:  f.workersSeen,
-		ShardsTotal:  f.shardsTotal,
-		Completed:    f.completed,
-		Failed:       f.failed,
-		Requeued:     f.requeued,
-		StaleResults: f.staleResults,
+		WorkersLive:       len(f.workers),
+		WorkersSeen:       f.workersSeen,
+		ShardsTotal:       f.shardsTotal,
+		Completed:         f.completed,
+		Failed:            f.failed,
+		Requeued:          f.requeued,
+		StaleResults:      f.staleResults,
+		Resumed:           f.resumed,
+		DeadlineCancelled: f.deadlineCancelled,
 	}
 	// Aggregate stats per worker process (fieldwise max of the departed
 	// record and any live registration), then sum across processes —
@@ -424,6 +687,27 @@ func (f *fabric) snapshot() fabricSnapshot {
 		}
 	}
 	return s
+}
+
+// liveGrants reports every lease (and unexpired resumed reservation)
+// for the shutdown snapshot.
+func (f *fabric) liveGrants() []grantRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []grantRecord
+	for key, sh := range f.shards {
+		if sh.completed {
+			continue
+		}
+		switch {
+		case sh.owner != nil:
+			out = append(out, grantRecord{Key: key, Proc: sh.owner.statsKey()})
+		case sh.resumedProc != "":
+			out = append(out, grantRecord{Key: key, Proc: sh.resumedProc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // fabricBackend adapts the fabric dispatcher to exp.Backend for the
@@ -502,10 +786,20 @@ type ShardResult struct {
 // heartbeat, finished results, current run counters, and how many new
 // shards it can accept.
 type PollRequest struct {
-	WorkerID string        `json:"worker_id"`
-	Want     int           `json:"want"`
-	Results  []ShardResult `json:"results,omitempty"`
-	Stats    exp.Stats     `json:"stats"`
+	WorkerID string `json:"worker_id"`
+	// Seq orders this worker's polls (strictly increasing per process).
+	// The coordinator answers an already-seen Seq — a duplicated or
+	// retried delivery — with results ingested but no grants and no
+	// reconciliation. 0 marks a legacy client without sequencing.
+	Seq  int64 `json:"seq,omitempty"`
+	Want int   `json:"want"`
+	// Holding lists every RunKey the worker still owes a result for
+	// (simulating or queued in its outbox). The coordinator requeues
+	// leases absent from it: they were granted in a reply the worker
+	// never received. Meaningful only when Seq > 0.
+	Holding []string      `json:"holding,omitempty"`
+	Results []ShardResult `json:"results,omitempty"`
+	Stats   exp.Stats     `json:"stats"`
 }
 
 // PollResponse grants shards and echoes the advertised poll interval.
@@ -534,8 +828,13 @@ type FabricStatus struct {
 	ShardsCompleted   uint64               `json:"shards_completed"`
 	ShardsFailed      uint64               `json:"shards_failed"`
 	ShardsRequeued    uint64               `json:"shards_requeued"`
+	ShardsResumed     uint64               `json:"shards_resumed"`
 	StaleResults      uint64               `json:"stale_results"`
+	DeadlineCancelled uint64               `json:"deadline_cancelled"`
 	WorkerSimulations uint64               `json:"worker_simulations"`
+	AdmissionRejected uint64               `json:"admission_rejected"`
+	JournalReplays    uint64               `json:"journal_replays"`
+	JournalBytes      int64                `json:"journal_bytes"`
 }
 
 // RemoteRunStatus is the wire form of one remotely submitted run
@@ -603,8 +902,13 @@ func (s *Server) handleFabricStatus(w http.ResponseWriter, r *http.Request) {
 		ShardsCompleted:   snap.Completed,
 		ShardsFailed:      snap.Failed,
 		ShardsRequeued:    snap.Requeued,
+		ShardsResumed:     snap.Resumed,
 		StaleResults:      snap.StaleResults,
+		DeadlineCancelled: snap.DeadlineCancelled,
 		WorkerSimulations: snap.WorkerStats.Simulations,
+		AdmissionRejected: s.admission.rejectedTotal(),
+		JournalReplays:    s.jnl.replayCount(),
+		JournalBytes:      s.jnl.bytes(),
 	}
 	if st.Workers == nil {
 		st.Workers = []FabricWorkerStatus{}
@@ -711,12 +1015,18 @@ func (s *Server) startRemoteRun(runner *exp.Runner, cfg arch.Config, spec worklo
 	rr := &remoteRun{id: id, state: JobRunning}
 	s.remoteRuns[id] = rr
 	s.remoteOrder = append(s.remoteOrder, id)
+	s.remoteActive++
 	s.evictRemoteLocked()
 	st := rr.status() // snapshot before the goroutine can mutate rr
 	s.remoteMu.Unlock()
 
 	go func() {
 		defer s.wg.Done()
+		defer func() {
+			s.remoteMu.Lock()
+			s.remoteActive--
+			s.remoteMu.Unlock()
+		}()
 		res, err := func() (res core.Result, err error) {
 			defer func() {
 				if p := recover(); p != nil {

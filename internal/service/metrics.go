@@ -21,6 +21,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	queued := s.queued
 	running := len(s.active)
+	deadlineJobs := s.deadlineJobsCancelled
 	s.mu.Unlock()
 
 	var ds DiskStats
@@ -107,6 +108,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP numagpud_fabric_worker_simulations_total Simulations reported by workers (live fleet's last polls plus departed workers).\n")
 	p("# TYPE numagpud_fabric_worker_simulations_total counter\n")
 	p("numagpud_fabric_worker_simulations_total %d\n", fs.WorkerStats.Simulations)
+
+	p("# HELP numagpud_fabric_shards_resumed_total Shards rebuilt from journaled grants after a coordinator restart.\n")
+	p("# TYPE numagpud_fabric_shards_resumed_total counter\n")
+	p("numagpud_fabric_shards_resumed_total %d\n", fs.Resumed)
+
+	p("# HELP numagpud_admission_rejected_total Submissions shed by admission control, by reason and tenant.\n")
+	p("# TYPE numagpud_admission_rejected_total counter\n")
+	for _, rej := range s.admission.rejections() {
+		p("numagpud_admission_rejected_total{reason=%q,tenant=%q} %d\n", rej.Key.Reason, rej.Key.Tenant, rej.Count)
+	}
+
+	p("# HELP numagpud_deadline_cancelled_total Work cancelled because its deadline passed before it started.\n")
+	p("# TYPE numagpud_deadline_cancelled_total counter\n")
+	p("numagpud_deadline_cancelled_total{kind=\"job\"} %d\n", deadlineJobs)
+	p("numagpud_deadline_cancelled_total{kind=\"shard\"} %d\n", fs.DeadlineCancelled)
+
+	p("# HELP numagpud_journal_replays_total Times the state journal recovered state at startup (0 or 1 per process; survives in snapshots).\n")
+	p("# TYPE numagpud_journal_replays_total counter\n")
+	p("numagpud_journal_replays_total %d\n", s.jnl.replayCount())
+
+	p("# HELP numagpud_journal_bytes On-disk size of the state journal (snapshot plus log tail).\n")
+	p("# TYPE numagpud_journal_bytes gauge\n")
+	p("numagpud_journal_bytes %d\n", s.jnl.bytes())
 
 	p("# HELP numagpud_uptime_seconds Seconds since the daemon started.\n")
 	p("# TYPE numagpud_uptime_seconds gauge\n")

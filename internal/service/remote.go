@@ -3,8 +3,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"repro/internal/arch"
@@ -26,6 +27,23 @@ import (
 // coordinator is unreachable, not silently simulate locally. (The
 // coordinator itself falls back to local simulation when it has no
 // workers, so a reachable coordinator always completes the run.)
+//
+// Failure handling is deliberately layered:
+//
+//   - transport errors and shed replies (429, 503) retry with jittered
+//     exponential backoff, honoring the server's Retry-After hint, up
+//     to the Retries budget — a coordinator restart or overload is
+//     ridden out, and the jitter keeps a whole sweep's runs from
+//     retrying in lockstep;
+//   - any other HTTP error reply (400, 404 outside the resubmit path,
+//     409, 500) is authoritative and fails the run immediately instead
+//     of burning the budget on an answer that will not change;
+//   - exhausting the budget latches the client "down" so the sweep's
+//     remaining runs fail fast; after MaxBackoff the latch half-opens
+//     and exactly one run probes the coordinator — success closes the
+//     latch for everyone, failure re-arms it. A fast-failing
+//     coordinator therefore costs one request per MaxBackoff, not one
+//     full retry budget per run.
 type FabricClient struct {
 	// BaseURL is the coordinator root, e.g. "http://127.0.0.1:8377".
 	BaseURL string
@@ -33,19 +51,123 @@ type FabricClient struct {
 	HTTPClient *http.Client
 	// Poll is the status poll interval (default 150ms).
 	Poll time.Duration
-	// Retries bounds consecutive transport failures tolerated while
-	// submitting or polling before the run is failed (default 20).
+	// Retries bounds consecutive retryable failures (transport errors
+	// and 429/503 sheds) tolerated while submitting or polling before
+	// the run is failed (default 20).
 	Retries int
+	// Backoff is the initial retry delay (default 50ms); successive
+	// retryable failures double it, jittered to [0.5,1.5)×, up to
+	// MaxBackoff (default 2s). A server Retry-After raises the floor.
+	Backoff time.Duration
+	// MaxBackoff caps the retry delay and sets how long the down latch
+	// holds before half-opening (default 2s).
+	MaxBackoff time.Duration
 
-	// down latches after a submit exhausts its transport retries, so a
-	// sweep against a dead coordinator fails its remaining runs
-	// immediately instead of re-probing per run.
-	down atomic.Bool
+	// Down latch (half-open circuit breaker). While downUntil is in the
+	// future every Execute fails fast; once it passes, one caller takes
+	// the probing token and tries the coordinator for real.
+	downMu    sync.Mutex
+	downUntil time.Time
+	probing   bool
 }
 
 // NewFabricClient returns a client for the coordinator at base.
 func NewFabricClient(base string) *FabricClient {
 	return &FabricClient{BaseURL: base}
+}
+
+// errCoordinatorDown is the fail-fast error while the down latch holds.
+var errCoordinatorDown = errors.New("service: fabric submit: coordinator unreachable (marked down)")
+
+func (c *FabricClient) backoffParams() (base, cap time.Duration) {
+	base = c.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	cap = c.MaxBackoff
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	if cap < base {
+		cap = base
+	}
+	return base, cap
+}
+
+// backoffDelay computes the jittered exponential delay for retry
+// attempt n (0-based), never below floor (the server's Retry-After).
+func (c *FabricClient) backoffDelay(attempt int, floor time.Duration) time.Duration {
+	base, cap := c.backoffParams()
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	// Jitter to [0.5, 1.5)× so a sweep's worth of concurrent retries
+	// spreads out instead of hammering the coordinator in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// acquire gates one Execute through the down latch. It returns probe =
+// true when this call holds the half-open probing token (it must call
+// release with the outcome), and an error when the latch is closed.
+func (c *FabricClient) acquire() (probe bool, err error) {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	if c.downUntil.IsZero() {
+		return false, nil
+	}
+	if time.Now().Before(c.downUntil) || c.probing {
+		return false, errCoordinatorDown
+	}
+	c.probing = true
+	return true, nil
+}
+
+// release reports a gated call's outcome: success closes the latch for
+// every waiting run; a failed probe re-arms it for another MaxBackoff.
+func (c *FabricClient) release(probe, ok bool) {
+	_, cap := c.backoffParams()
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	if ok {
+		c.downUntil = time.Time{}
+		c.probing = false
+		return
+	}
+	if probe {
+		c.probing = false
+		c.downUntil = time.Now().Add(cap)
+	}
+}
+
+// latchDown arms the down latch after a run exhausts its retry budget.
+func (c *FabricClient) latchDown() {
+	_, cap := c.backoffParams()
+	c.downMu.Lock()
+	if c.downUntil.IsZero() {
+		c.downUntil = time.Now().Add(cap)
+	}
+	c.downMu.Unlock()
+}
+
+// retryable reports whether an error is worth retrying (transport
+// failure or an explicit shed) and the server-requested delay floor.
+func retryable(err error) (ok bool, floor time.Duration) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		return true, 0 // transport-level: retry
+	}
+	if ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable {
+		return true, ae.RetryAfter
+	}
+	return false, 0
 }
 
 // Execute implements exp.Backend.
@@ -59,8 +181,9 @@ func (c *FabricClient) Execute(key string, cfg arch.Config, spec workload.Spec, 
 	if retries <= 0 {
 		retries = 20
 	}
-	if c.down.Load() {
-		return core.Result{}, errors.New("service: fabric submit: coordinator unreachable (marked down)")
+	probe, err := c.acquire()
+	if err != nil {
+		return core.Result{}, err
 	}
 	run := WireRun{
 		Key:       key,
@@ -77,21 +200,22 @@ func (c *FabricClient) Execute(key string, cfg arch.Config, spec workload.Spec, 
 			if err == nil {
 				return st, nil
 			}
-			var ae *apiError
-			if errors.As(err, &ae) {
-				// An HTTP-level reply is authoritative: 400/409/503
-				// will not get better with retries.
+			retry, floor := retryable(err)
+			if !retry {
+				// An authoritative HTTP reply (400/404/409/500) will not
+				// get better with retries.
 				return st, fmt.Errorf("service: fabric submit: %w", err)
 			}
 			if attempt+1 >= retries {
-				c.down.Store(true)
+				c.latchDown()
 				return st, fmt.Errorf("service: fabric submit: %w", err)
 			}
-			time.Sleep(poll)
+			time.Sleep(c.backoffDelay(attempt, floor))
 		}
 	}
 
 	st, err := submit()
+	c.release(probe, err == nil)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -110,27 +234,29 @@ func (c *FabricClient) Execute(key string, cfg arch.Config, spec workload.Spec, 
 		time.Sleep(poll)
 		if err := cl.do("GET", "/v1/fabric/runs/"+st.ID, nil, &st); err != nil {
 			var ae *apiError
-			if errors.As(err, &ae) {
-				if ae.Status == http.StatusNotFound && resubmits < retries {
-					// The coordinator forgot the run (restart, or
-					// retention eviction under a slow poller):
-					// resubmit — idempotent by content address, and
-					// cheap when the result already reached the disk
-					// cache.
-					resubmits++
-					if st, err = submit(); err != nil {
-						return core.Result{}, err
-					}
-					continue
+			if errors.As(err, &ae) && ae.Status == http.StatusNotFound && resubmits < retries {
+				// The coordinator forgot the run (restart, or retention
+				// eviction under a slow poller): resubmit — idempotent
+				// by content address, and cheap when the result already
+				// reached the disk cache.
+				resubmits++
+				if st, err = submit(); err != nil {
+					return core.Result{}, err
 				}
+				continue
+			}
+			retry, floor := retryable(err)
+			if !retry {
 				// Any other HTTP reply is authoritative: fail now
 				// rather than burning the whole retry budget on it.
 				return core.Result{}, fmt.Errorf("service: fabric poll: %w", err)
 			}
 			failures++
 			if failures >= retries {
+				c.latchDown()
 				return core.Result{}, fmt.Errorf("service: fabric poll: %w", err)
 			}
+			time.Sleep(c.backoffDelay(failures-1, floor))
 			continue
 		}
 		failures = 0

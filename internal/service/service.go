@@ -23,7 +23,9 @@
 //	GET  /v1/jobs/{id}/result     deterministic result JSON (done jobs)
 //	GET  /v1/cache                cache + run-count statistics
 //	GET  /metrics                 Prometheus text format
-//	GET  /healthz                 liveness probe
+//	GET  /healthz                 liveness probe (alias: /healthz/live)
+//	GET  /healthz/ready           readiness probe (503 while draining
+//	                              or replaying the state journal)
 //
 // Sweep-fabric endpoints (see fabric.go; the daemon is always a
 // capable coordinator, and numagpud -worker joins one as a worker):
@@ -47,6 +49,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -68,12 +72,24 @@ type Config struct {
 	// CacheDir, when non-empty, enables the persistent result cache
 	// rooted at that directory.
 	CacheDir string
+	// StateDir roots the coordinator's durable state (job/lease journal
+	// + snapshots; see journal.go and docs/ROBUSTNESS.md). Empty
+	// defaults to "state" under CacheDir; with no CacheDir either,
+	// durability is off and a restart loses queued jobs (the pre-journal
+	// behaviour).
+	StateDir string
+	// TenantQuota, when > 0, is the per-tenant admission quota in jobs
+	// per minute (burst: one minute's worth), keyed by the X-Tenant
+	// request header; submissions beyond it get 429 + Retry-After.
+	TenantQuota float64
 	// Workers is the number of queue workers executing jobs
 	// concurrently (default 2). Total simulation concurrency is
 	// bounded by Workers × Options.Parallelism.
 	Workers int
 	// QueueDepth bounds the number of queued-but-not-running jobs
-	// (default 64); submissions beyond it are rejected with 503.
+	// (default 64, numagpud -max-queue); submissions beyond it are shed
+	// with 429 + a Retry-After derived from queue depth × observed
+	// per-job latency. In-flight jobs are never shed.
 	QueueDepth int
 	// Mirror, when non-nil, additionally receives every per-run
 	// progress line (numagpud -v wires this to stderr).
@@ -109,6 +125,8 @@ type job struct {
 	kind     string // "experiment" or "sweep"
 	name     string
 	sweep    *SweepRequest
+	tenant   string
+	deadline time.Time // zero: none
 	state    JobState
 	progress []string
 	result   []byte
@@ -147,13 +165,19 @@ type CacheStatus struct {
 // Server is the numagpud daemon: an http.Handler plus the worker pool
 // behind it. Create with New, release with Close.
 type Server struct {
-	cfg     Config
-	runner  *exp.Runner // the job queue's runner (the configured options)
-	runners *runnerSet  // every runner, by (IterScale, MaxCTAs); shares cache+fabric
-	disk    *DiskCache
-	fabric  *fabric
-	mux     *http.ServeMux
-	start   time.Time
+	cfg       Config
+	runner    *exp.Runner // the job queue's runner (the configured options)
+	runners   *runnerSet  // every runner, by (IterScale, MaxCTAs); shares cache+fabric
+	disk      *DiskCache
+	fabric    *fabric
+	jnl       *journal // nil when durability is off
+	admission *admission
+	mux       *http.ServeMux
+	start     time.Time
+
+	// deadlineJobsCancelled counts jobs failed at dequeue because their
+	// deadline had already passed (guarded by mu).
+	deadlineJobsCancelled uint64
 
 	mu      sync.Mutex
 	closing bool
@@ -164,10 +188,13 @@ type Server struct {
 	queued  int
 
 	// Remotely submitted fabric runs (POST /v1/fabric/runs), by the
-	// content address of their RunKey.
-	remoteMu    sync.Mutex
-	remoteRuns  map[string]*remoteRun
-	remoteOrder []string
+	// content address of their RunKey. remoteActive counts runs still
+	// executing; while any is in flight, activeDeadline reports no
+	// deadline (remote runs carry none of their own).
+	remoteMu     sync.Mutex
+	remoteRuns   map[string]*remoteRun
+	remoteOrder  []string
+	remoteActive int
 
 	queue     chan *job
 	wg        sync.WaitGroup
@@ -200,6 +227,7 @@ func New(cfg Config) (*Server, error) {
 		queue:      make(chan *job, cfg.QueueDepth),
 		remoteRuns: make(map[string]*remoteRun),
 	}
+	s.admission = newAdmission(cfg.TenantQuota)
 	opts := cfg.Options
 	opts.Cache = nil // owned by the Server: only the configured DiskCache is wired in
 	if cfg.CacheDir != "" {
@@ -211,15 +239,70 @@ func New(cfg Config) (*Server, error) {
 		opts.Cache = disk
 	}
 	opts.Progress = (*progressRouter)(s)
+
+	// Durable coordinator state: replay the journal (job submissions +
+	// shard grants not yet resolved) so a restarted coordinator resumes
+	// its in-flight sweeps instead of losing them.
+	stateDir := cfg.StateDir
+	if stateDir == "" && cfg.CacheDir != "" {
+		stateDir = filepath.Join(cfg.CacheDir, "state")
+	}
+	state := &journalState{Version: 1}
+	if stateDir != "" {
+		jnl, st, err := openJournal(stateDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: open state journal: %w", err)
+		}
+		s.jnl, state = jnl, st
+		s.nextID = state.NextJobID
+	}
+
 	// Every simulation this server runs — job queue or remote
 	// submission — is offered to the sweep fabric first; with no
 	// registered workers the backend reports unavailable and the
 	// runner simulates locally, so a worker-less coordinator behaves
-	// exactly like a standalone daemon.
-	s.fabric = newFabric(cfg.LeaseTTL, cfg.FabricPoll)
+	// exactly like a standalone daemon. Grants recovered from the
+	// journal become resumed shards reserved for their pre-restart
+	// owners (completed ones dedupe against the disk cache), and any
+	// recovery arms the grace window that holds off the local-simulation
+	// fallback until the fleet has had a lease TTL to re-register.
+	s.fabric = newFabricState(cfg.LeaseTTL, cfg.FabricPoll, s.disk, s.jnl, state.Grants)
+	s.fabric.deadlineFn = s.activeDeadline
+	if state.recovered() {
+		s.fabric.armGrace()
+	}
 	opts.Backend = fabricBackend{s.fabric}
 	s.runners = newRunnerSet(opts)
 	s.runner = s.runners.runner(opts.IterScale, opts.MaxCTAs)
+
+	// Re-enqueue the journaled jobs that never finished, preserving
+	// their IDs so clients polling across the restart reconnect to the
+	// same job. Their completed simulations are already in the disk
+	// cache, so re-execution costs only the unfinished tail.
+	for i := range state.Jobs {
+		jr := &state.Jobs[i]
+		j := &job{id: jr.ID, kind: jr.Kind, name: jr.Name, tenant: jr.Tenant, state: JobQueued}
+		if jr.DeadlineMs > 0 {
+			j.deadline = time.UnixMilli(jr.DeadlineMs)
+		}
+		if len(jr.Sweep) > 0 {
+			var sw SweepRequest
+			if json.Unmarshal(jr.Sweep, &sw) == nil {
+				j.sweep = &sw
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if err := s.enqueue(j); err != nil {
+			// Shrunk queue across the restart: shed the tail explicitly
+			// rather than silently losing it.
+			j.state = JobFailed
+			j.err = "lost across restart: job queue full on replay"
+			s.jnl.append(journalRecord{T: "fail", ID: j.id})
+			continue
+		}
+		s.queued++
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
@@ -237,6 +320,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/fabric/runs/{id}", s.handleFabricRunStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /healthz/live", s.handleHealth)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	s.mux = mux
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -253,8 +338,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close stops accepting new submissions, shuts the sweep fabric down
 // (in-flight leased shards fail over to local simulation so the drain
-// cannot hang on a dead fleet), and waits for every already-queued job
-// and remote run to finish. Submissions after Close fail with 503.
+// cannot hang on a dead fleet), waits for every already-queued job and
+// remote run to finish, then compacts and closes the state journal so
+// the next start replays a clean snapshot. Submissions after Close fail
+// with 503.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
@@ -264,6 +351,59 @@ func (s *Server) Close() {
 		close(s.queue)
 	})
 	s.wg.Wait()
+	if s.jnl != nil {
+		s.jnl.compact(s.journalSnapshot())
+		s.jnl.close()
+	}
+}
+
+// kill simulates kill -9 for the restart and chaos tests: admission
+// stops, the fabric freezes without resolving anything, and the journal
+// file handle is dropped without compaction — exactly the state an
+// abrupt process death leaves on disk. Queued and running jobs are
+// abandoned mid-flight; a replacement Server opened on the same cache
+// and state directories recovers them.
+func (s *Server) kill() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.fabric.freeze()
+	s.jnl.close()
+}
+
+// journalSnapshot captures the durable view of the current state: every
+// unfinished job in submission order plus the fabric's live grants.
+func (s *Server) journalSnapshot() *journalState {
+	st := &journalState{Version: 1}
+	s.mu.Lock()
+	st.NextJobID = s.nextID
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state != JobQueued && j.state != JobRunning {
+			continue
+		}
+		st.Jobs = append(st.Jobs, s.record(j))
+	}
+	s.mu.Unlock()
+	st.Grants = s.fabric.liveGrants()
+	if s.jnl != nil {
+		st.Replays = s.jnl.replayCount()
+	}
+	return st
+}
+
+// record builds the durable form of one job. Caller holds s.mu.
+func (s *Server) record(j *job) jobRecord {
+	jr := jobRecord{ID: j.id, Kind: j.kind, Name: j.name, Tenant: j.tenant}
+	if !j.deadline.IsZero() {
+		jr.DeadlineMs = j.deadline.UnixMilli()
+	}
+	if j.sweep != nil {
+		if b, err := json.Marshal(j.sweep); err == nil {
+			jr.Sweep = b
+		}
+	}
+	return jr
 }
 
 // RunnerStats exposes the aggregate run accounting across every runner
@@ -351,9 +491,68 @@ func (p *progressRouter) Write(b []byte) (int, error) {
 	return len(b), nil
 }
 
-// errQueueFull is returned by submit when the queue is at capacity or
-// the server is closed.
-var errQueueFull = errors.New("service: job queue full")
+// errQueueFull is returned by submit when the queue is at capacity;
+// errClosing when the server is shutting down. Admission maps the
+// former to 429 + Retry-After (shed, come back later) and handlers map
+// the latter to 503 (going away for good).
+var (
+	errQueueFull = errors.New("service: job queue full")
+	errClosing   = errors.New("service: shutting down")
+)
+
+// submitJob is the admission pipeline for one submission: resolve the
+// tenant (X-Tenant header) and deadline (X-Deadline-Ms, relative),
+// charge the tenant's quota bucket, then register and enqueue. The
+// shedding order is deliberate — new submissions are the first and only
+// thing shed; anything already queued or running is never revoked by
+// load (deadlines are the submitter's own choice).
+func (s *Server) submitJob(j *job, r *http.Request) error {
+	j.tenant = r.Header.Get("X-Tenant")
+	if j.tenant == "" {
+		j.tenant = defaultTenant
+	}
+	if ms := r.Header.Get("X-Deadline-Ms"); ms != "" {
+		v, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("service: bad X-Deadline-Ms %q", ms)
+		}
+		j.deadline = time.Now().Add(time.Duration(v) * time.Millisecond)
+	}
+	if err := s.admission.admitTenant(j.tenant); err != nil {
+		return err
+	}
+	if err := s.submit(j); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.admission.refundTenant(j.tenant)
+			s.mu.Lock()
+			queued := s.queued
+			s.mu.Unlock()
+			return s.admission.rejectFull(j.tenant, queued, s.cfg.Workers)
+		}
+		return err
+	}
+	return nil
+}
+
+// writeSubmitError renders an admission pipeline failure: 429 with a
+// Retry-After header for shed load, 503 for shutdown, 400 for a
+// malformed deadline.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var ae *admissionError
+	switch {
+	case errors.As(err, &ae):
+		secs := int64(ae.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, errClosing):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
 
 func (s *Server) submit(j *job) error {
 	// Registration and the non-blocking enqueue happen under one
@@ -362,16 +561,23 @@ func (s *Server) submit(j *job) error {
 	// before touching a dequeued job, so they cannot observe it before
 	// registration completes.
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closing {
+		s.mu.Unlock()
+		return errClosing
+	}
 	s.nextID++
 	j.id = fmt.Sprintf("job-%d", s.nextID)
 	j.state = JobQueued
 	if err := s.enqueue(j); err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.queued++
+	rec := s.record(j)
+	s.mu.Unlock()
+	s.jnl.append(journalRecord{T: "submit", Job: &rec})
 	return nil
 }
 
@@ -394,26 +600,69 @@ func (s *Server) enqueue(j *job) (err error) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		// A job whose deadline passed while it waited is cancelled at
+		// dequeue — it never started, so nothing in flight is shed.
 		s.mu.Lock()
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			j.state = JobFailed
+			j.err = "deadline exceeded before start"
+			s.queued--
+			s.deadlineJobsCancelled++
+			s.evictLocked()
+			s.mu.Unlock()
+			s.jnl.append(journalRecord{T: "fail", ID: j.id})
+			continue
+		}
 		j.state = JobRunning
 		s.queued--
 		s.active[j] = true
 		s.mu.Unlock()
 
+		start := time.Now()
 		payload, err := s.execute(j)
+		s.admission.observe(time.Since(start))
 
 		s.mu.Lock()
 		delete(s.active, j)
+		rec := journalRecord{T: "done", ID: j.id}
 		if err != nil {
 			j.state = JobFailed
 			j.err = err.Error()
+			rec.T = "fail"
 		} else {
 			j.state = JobDone
 			j.result = payload
 		}
 		s.evictLocked()
 		s.mu.Unlock()
+		s.jnl.append(rec)
 	}
+}
+
+// activeDeadline is the job-level deadline the fabric stamps on new
+// shards. Shards cannot be attributed to a single job (concurrent jobs
+// share shards through the memo), so the answer is conservative: the
+// latest deadline across running jobs, and no deadline at all if any
+// running job — or any in-flight remote run — has none.
+func (s *Server) activeDeadline() time.Time {
+	s.remoteMu.Lock()
+	remoteActive := s.remoteActive
+	s.remoteMu.Unlock()
+	if remoteActive > 0 {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max time.Time
+	for j := range s.active {
+		if j.deadline.IsZero() {
+			return time.Time{}
+		}
+		if j.deadline.After(max) {
+			max = j.deadline
+		}
+	}
+	return max
 }
 
 // evictLocked drops the oldest finished jobs beyond Config.JobRetention
@@ -684,8 +933,8 @@ func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	j := &job{kind: "experiment", name: name}
-	if err := s.submit(j); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	if err := s.submitJob(j, r); err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.status(j))
@@ -709,8 +958,8 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		name = "base"
 	}
 	j := &job{kind: "sweep", name: name, sweep: &req}
-	if err := s.submit(j); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	if err := s.submitJob(j, r); err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.status(j))
@@ -794,4 +1043,23 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness half of the health split: the process is
+// alive (handleHealth) the moment it serves HTTP, but not ready while
+// it is shutting down or while a freshly-restarted coordinator is still
+// inside its recovery grace window waiting for the fleet to
+// re-register. Load balancers should route on this one.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	switch {
+	case closing:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.fabric.recovering():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "replaying"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }

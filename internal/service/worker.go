@@ -67,7 +67,14 @@ type Worker struct {
 	mu       sync.Mutex
 	id       string
 	inflight int
+	running  map[string]bool // RunKeys currently simulating
 	results  []ShardResult
+
+	// seq numbers every poll so the coordinator can ignore duplicate or
+	// reordered deliveries (chaos transports duplicate requests); it also
+	// lets the coordinator reconcile leases against Holding.
+	seq      atomic.Int64
+	draining atomic.Bool
 
 	wake   chan struct{} // buffered; poked when a shard finishes
 	killed chan struct{} // test hook: abrupt death, no drain
@@ -96,6 +103,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cfg:     cfg,
 		process: fmt.Sprintf("%s/%d/%d", cfg.Name, os.Getpid(), workerSeq.Add(1)),
 		client:  &Client{BaseURL: cfg.CoordinatorURL, HTTPClient: cfg.HTTPClient},
+		running: make(map[string]bool),
 		wake:    make(chan struct{}, 1),
 		killed:  make(chan struct{}),
 	}
@@ -130,6 +138,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	for {
 		if !draining && ctx.Err() != nil {
 			draining = true
+			w.draining.Store(true)
 		}
 		req := w.buildPoll(draining)
 		var resp PollResponse
@@ -233,8 +242,18 @@ func (w *Worker) buildPoll(draining bool) PollRequest {
 	defer w.mu.Unlock()
 	req := PollRequest{
 		WorkerID: w.id,
+		Seq:      w.seq.Add(1),
 		Results:  append([]ShardResult(nil), w.results...),
 		Stats:    w.runners.stats(),
+	}
+	// Holding enumerates every RunKey this worker still owes the
+	// coordinator — simulating or queued in the outbox — so the
+	// coordinator can re-queue leases lost to a dropped response.
+	for key := range w.running {
+		req.Holding = append(req.Holding, key)
+	}
+	for _, r := range w.results {
+		req.Holding = append(req.Holding, r.Key)
 	}
 	if !draining {
 		// Results shipped in this request release their leases during
@@ -271,11 +290,13 @@ func (w *Worker) idle() bool {
 func (w *Worker) startShard(sh WireShard) {
 	w.mu.Lock()
 	w.inflight++
+	w.running[sh.Run.Key] = true
 	w.mu.Unlock()
 	go func() {
 		res := w.runShard(sh)
 		w.mu.Lock()
 		w.inflight--
+		delete(w.running, sh.Run.Key)
 		w.results = append(w.results, res)
 		w.mu.Unlock()
 		select {
@@ -323,12 +344,30 @@ func isGone(err error) bool {
 	return errors.As(err, &ae) && ae.Status == http.StatusGone
 }
 
-// Handler serves the worker's own observability surface: /healthz and
-// a small Prometheus /metrics with its run counters.
+// Handler serves the worker's own observability surface: liveness and
+// readiness probes plus a small Prometheus /metrics with its run
+// counters. Readiness goes false the moment a drain starts, so a load
+// balancer (or the operator) sees the worker leave before it actually
+// disappears.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+	live := func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok", "worker": w.cfg.Name})
+	}
+	mux.HandleFunc("GET /healthz", live)
+	mux.HandleFunc("GET /healthz/live", live)
+	mux.HandleFunc("GET /healthz/ready", func(rw http.ResponseWriter, r *http.Request) {
+		killed := false
+		select {
+		case <-w.killed:
+			killed = true
+		default:
+		}
+		if w.draining.Load() || killed {
+			writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"status": "draining", "worker": w.cfg.Name})
+			return
+		}
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ready", "worker": w.cfg.Name})
 	})
 	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
 		st := w.Stats()
