@@ -28,6 +28,10 @@
 //	               rendered locally, byte-identical to a local run.
 //	               Raise -j to the cluster's total worker window to
 //	               keep a multi-worker fabric busy
+//	-follow        render one line per completed run on stderr as
+//	               results land (workload, how it resolved — simulated,
+//	               cached, remote, coalesced — and cycles). Stdout is
+//	               untouched: final tables stay byte-identical
 //	-obs-dir dir   enable the observability layer: write each run's
 //	               time series (series.csv + series.json) into
 //	               dir/<workload>-<key hash>/. Sampling is read-only
@@ -68,6 +72,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -91,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel")
 	shards := fs.Int("shards", 1, "engine shards per simulation (results are byte-identical to -shards 1)")
 	remote := fs.String("remote", "", "numagpud coordinator URL: execute simulations on the sweep fabric")
+	follow := fs.Bool("follow", false, "render per-run completions on stderr as results land")
 	topoPath := fs.String("topology", "", "topology JSON file replacing the synthesized crossbar (docs/TOPOLOGY.md)")
 	validate := fs.Bool("validate", false, "with -topology: validate the file, print its canonical encoding, and exit")
 	dumpPreset := fs.String("dump-topology", "", "print the effective topology of this preset (base|traditional|numa-aware|monolithic) and exit")
@@ -186,6 +192,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *remote != "" {
 		opts.Backend = service.NewFabricClient(*remote)
+	}
+	if *follow {
+		// Per-run completions stream to stderr; stdout (tables, JSON,
+		// golden output) stays byte-identical with or without the flag.
+		opts.OnResult = func(key string, res core.Result, src exp.RunSource) {
+			fmt.Fprintf(stderr, "done %-28s %-10s %12d cycles\n", res.Name, src, res.Cycles)
+		}
 	}
 	var obsMu sync.Mutex
 	var obsErr error

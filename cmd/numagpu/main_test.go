@@ -131,6 +131,39 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunFollowOutput pins the -follow contract: stderr gains one
+// "done <workload> <source> <cycles>" line per unique completed run,
+// and stdout stays byte-identical to a run without the flag.
+func TestRunFollowOutput(t *testing.T) {
+	args := []string{"-iterscale", "0.01", "-divisor", "16", "-j", "1", "-golden", "fig3"}
+	code, plain, _ := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("baseline exit %d, want 0", code)
+	}
+	code, followed, stderr := runCLI(t, append([]string{"-follow"}, args...)...)
+	if code != 0 {
+		t.Fatalf("-follow exit %d, want 0", code)
+	}
+	if followed != plain {
+		t.Fatalf("-follow changed stdout:\n--- without ---\n%s\n--- with ---\n%s", plain, followed)
+	}
+	lines := 0
+	for _, line := range strings.Split(stderr, "\n") {
+		if !strings.HasPrefix(line, "done ") {
+			continue
+		}
+		lines++
+		if !strings.Contains(line, "simulated") || !strings.Contains(line, "cycles") {
+			t.Fatalf("malformed -follow line: %q", line)
+		}
+	}
+	// fig3 runs the full workload set across three policy configs; every
+	// unique run reports exactly once.
+	if lines == 0 {
+		t.Fatalf("-follow produced no per-run lines:\n%s", stderr)
+	}
+}
+
 func TestRunJSONDeterministic(t *testing.T) {
 	_, a, _ := runCLI(t, "-json", "table2")
 	_, b, _ := runCLI(t, "-json", "table2")

@@ -57,7 +57,7 @@ func AsymPairsTopology(c arch.Config) *topo.Topology {
 // interleaving cannot (75% of its accesses cross sockets, half of
 // those over the bridge). Every other evaluated workload runs, keeping
 // the golden suite's runtime bounded while spanning all categories.
-func AsymFabric(r *Runner) Result {
+func AsymFabric(r Harness) Result {
 	all := r.evaluated()
 	var specs []workload.Spec
 	for i, s := range all {
@@ -66,7 +66,7 @@ func AsymFabric(r *Runner) Result {
 		}
 	}
 
-	asym := AsymPairsTopology(arch.ScaledConfig(r.opts.Divisor))
+	asym := AsymPairsTopology(arch.ScaledConfig(r.Options().Divisor))
 	onAsym := func(c arch.Config) arch.Config {
 		c.Topology = asym
 		return c

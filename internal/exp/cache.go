@@ -47,16 +47,27 @@ type Stats struct {
 	// RemoteRuns counts runs executed by Options.Backend instead of
 	// the local simulator.
 	RemoteRuns uint64 `json:"remote_runs"`
+	// DeltaHits counts unique sweep-plan keys Runner.Plan resolved
+	// without new work (already memoized, or promoted from the
+	// second-level cache at planning time): the measurable win of
+	// delta-aware sweep coalescing.
+	DeltaHits uint64 `json:"delta_hits"`
+	// CoalescedKeys counts unique sweep-plan keys Runner.Plan found
+	// already in flight — the plan's runs ride existing executions
+	// instead of starting their own.
+	CoalescedKeys uint64 `json:"coalesced_keys"`
 }
 
 // Add returns the fieldwise sum of two snapshots (used to aggregate a
 // runner set or a worker fleet).
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Simulations: s.Simulations + o.Simulations,
-		CacheHits:   s.CacheHits + o.CacheHits,
-		CacheMisses: s.CacheMisses + o.CacheMisses,
-		RemoteRuns:  s.RemoteRuns + o.RemoteRuns,
+		Simulations:   s.Simulations + o.Simulations,
+		CacheHits:     s.CacheHits + o.CacheHits,
+		CacheMisses:   s.CacheMisses + o.CacheMisses,
+		RemoteRuns:    s.RemoteRuns + o.RemoteRuns,
+		DeltaHits:     s.DeltaHits + o.DeltaHits,
+		CoalescedKeys: s.CoalescedKeys + o.CoalescedKeys,
 	}
 }
 
@@ -64,10 +75,12 @@ func (s Stats) Add(o Stats) Stats {
 // call concurrently with Run/RunAll.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Simulations: r.sims.Load(),
-		CacheHits:   r.cacheHits.Load(),
-		CacheMisses: r.cacheMisses.Load(),
-		RemoteRuns:  r.remoteRuns.Load(),
+		Simulations:   r.sims.Load(),
+		CacheHits:     r.cacheHits.Load(),
+		CacheMisses:   r.cacheMisses.Load(),
+		RemoteRuns:    r.remoteRuns.Load(),
+		DeltaHits:     r.deltaHits.Load(),
+		CoalescedKeys: r.coalescedKeys.Load(),
 	}
 }
 
@@ -126,8 +139,10 @@ func machineKey(c arch.Config) string {
 // counters holds the Runner's atomic run accounting; embedded so the
 // zero value is ready to use.
 type counters struct {
-	sims        atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	remoteRuns  atomic.Uint64
+	sims          atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	remoteRuns    atomic.Uint64
+	deltaHits     atomic.Uint64
+	coalescedKeys atomic.Uint64
 }

@@ -19,6 +19,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -82,6 +83,16 @@ type Options struct {
 	// the singleflight memo for a given key but concurrent across keys
 	// under RunAll.
 	ObsSink func(key string, spec workload.Spec, col *obs.Collector)
+	// OnResult, when non-nil, is invoked exactly once per unique run
+	// key the Runner completes — simulated, cache-served, or remote,
+	// including keys a Plan resolves from the second-level cache — with
+	// the run's content address (RunKey), its result, and how the
+	// winning execution obtained it. Invocations are serialized; under
+	// parallelism their order is completion order. Runs that panic
+	// (including deterministic backend failures) fire no callback.
+	// Per-caller attribution — "which of MY requests completed" —
+	// belongs to Session, not here.
+	OnResult func(key string, res core.Result, source RunSource)
 }
 
 // DefaultOptions is the reference harness size (minutes for the full
@@ -138,6 +149,7 @@ type Runner struct {
 	memo map[string]*memoEntry
 
 	progressMu sync.Mutex // serializes Options.Progress writes
+	onResultMu sync.Mutex // serializes Options.OnResult invocations
 
 	counters // simulation / cache-hit / cache-miss accounting
 }
@@ -147,9 +159,14 @@ type Runner struct {
 // once.Do and then reads res, which once guarantees is visible. A
 // panicking simulation records its panic value so every caller of the
 // key re-raises it instead of reading a zero Result off the spent Once.
+// done flips (after res and source are set) when the entry completed
+// successfully, so planners and late callers can distinguish a finished
+// entry from one still mid-simulation.
 type memoEntry struct {
 	once     sync.Once
 	res      core.Result
+	source   RunSource
+	done     atomic.Bool
 	panicked any
 }
 
@@ -214,7 +231,13 @@ func cfgKey(c arch.Config) string {
 // (counted in Stats) and only simulates — then writes back — on a
 // cache miss, so warm results cost one Get instead of a simulation.
 func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
-	key := r.RunKey(cfg, spec)
+	res, _ := r.runKeyed(r.RunKey(cfg, spec), cfg, spec)
+	return res
+}
+
+// entry returns the singleflight slot for key, creating it on first
+// reference.
+func (r *Runner) entry(key string) *memoEntry {
 	r.mu.Lock()
 	e, ok := r.memo[key]
 	if !ok {
@@ -222,7 +245,34 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 		r.memo[key] = e
 	}
 	r.mu.Unlock()
+	return e
+}
+
+// finish completes a memo entry: records how the winning execution
+// obtained the result, publishes done, and fires Options.OnResult.
+// Called exactly once per entry, from inside the winning once.Do body,
+// after e.res is set.
+func (r *Runner) finish(key string, e *memoEntry, src RunSource) {
+	e.source = src
+	e.done.Store(true)
+	if r.opts.OnResult != nil {
+		r.onResultMu.Lock()
+		r.opts.OnResult(key, e.res, src)
+		r.onResultMu.Unlock()
+	}
+}
+
+// runKeyed executes one memoized run and reports how this particular
+// call was satisfied: the winning caller sees the real source
+// (simulated, cached, remote); a caller that found the key already
+// complete sees SourceCached; a caller that blocked on another
+// caller's in-flight execution sees SourceCoalesced.
+func (r *Runner) runKeyed(key string, cfg arch.Config, spec workload.Spec) (core.Result, RunSource) {
+	e := r.entry(key)
+	wasDone := e.done.Load()
+	won := false
 	e.once.Do(func() {
+		won = true
 		defer func() {
 			if p := recover(); p != nil {
 				e.panicked = p
@@ -238,6 +288,7 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 				res.Name = spec.Name
 				e.res = res
 				r.cacheHits.Add(1)
+				r.finish(key, e, SourceCached)
 				return
 			}
 			r.cacheMisses.Add(1)
@@ -252,6 +303,7 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 				if c := r.opts.Cache; c != nil {
 					c.Put(key, res)
 				}
+				r.finish(key, e, SourceRemote)
 				if r.opts.Progress != nil {
 					r.progressMu.Lock()
 					fmt.Fprintf(r.opts.Progress, "ran %-28s %-60s %12d cycles (remote)\n", spec.Name, cfgKey(cfg), res.Cycles)
@@ -287,6 +339,7 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 		if c := r.opts.Cache; c != nil {
 			c.Put(key, res)
 		}
+		r.finish(key, e, SourceSimulated)
 		if r.opts.Progress != nil {
 			r.progressMu.Lock()
 			fmt.Fprintf(r.opts.Progress, "ran %-28s %-60s %12d cycles\n", spec.Name, cfgKey(cfg), res.Cycles)
@@ -306,7 +359,14 @@ func (r *Runner) Run(cfg arch.Config, spec workload.Spec) core.Result {
 		}
 		panic(e.panicked)
 	}
-	return e.res
+	switch {
+	case won:
+		return e.res, e.source
+	case wasDone:
+		return e.res, SourceCached
+	default:
+		return e.res, SourceCoalesced
+	}
 }
 
 // RunRequest names one (config, workload) simulation of a sweep.
@@ -327,14 +387,24 @@ type RunRequest struct {
 // not necessarily the first in request order) on the caller's
 // goroutine.
 func (r *Runner) RunAll(reqs []RunRequest) []core.Result {
-	out := make([]core.Result, len(reqs))
-	par := r.opts.Parallelism
-	if par > len(reqs) {
-		par = len(reqs)
+	return runPool(r.opts.Parallelism, len(reqs), func(i int) core.Result {
+		return r.Run(reqs[i].Cfg, reqs[i].Spec)
+	})
+}
+
+// runPool executes n indexed tasks on at most par workers, preserving
+// index order in the returned slice. If any task panics, the pool
+// finishes draining and re-raises one recorded panic value (the first
+// to complete, not necessarily the first by index) on the caller's
+// goroutine. Shared by Runner.RunAll and Session.RunAll.
+func runPool(par, n int, run func(i int) core.Result) []core.Result {
+	out := make([]core.Result, n)
+	if par > n {
+		par = n
 	}
 	if par <= 1 {
-		for i, q := range reqs {
-			out[i] = r.Run(q.Cfg, q.Spec)
+		for i := range out {
+			out[i] = run(i)
 		}
 		return out
 	}
@@ -355,12 +425,12 @@ func (r *Runner) RunAll(reqs []RunRequest) []core.Result {
 							panicOnce.Do(func() { panicVal = p })
 						}
 					}()
-					out[i] = r.Run(reqs[i].Cfg, reqs[i].Spec)
+					out[i] = run(i)
 				}()
 			}
 		}()
 	}
-	for i := range reqs {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)

@@ -17,11 +17,11 @@ const baselineSMs = 56
 // Figure2 reports the percentage of workloads whose time-weighted
 // average CTA count can fill GPUs 1–8× larger than today's (Figure 2).
 // It is a pure data computation over the Table 2 metadata.
-func Figure2(r *Runner) Result {
+func Figure2(r Harness) Result {
 	t := stats.NewTable("Figure 2: workloads able to fill future larger GPUs",
 		"GPU size", "SMs", "Workloads filling", "Percent")
 	sum := map[string]float64{}
-	all := r.opts.Workloads
+	all := r.Options().Workloads
 	for _, factor := range []int{1, 2, 4, 8} {
 		sms := baselineSMs * factor
 		n := 0
@@ -42,8 +42,8 @@ func Figure2(r *Runner) Result {
 // GPU and the hypothetical 4× larger GPU (Figure 3). Rows are sorted by
 // the locality-vs-theoretical gap, mirroring the paper's layout; the
 // grey set is annotated.
-func Figure3(r *Runner) Result {
-	specs := r.opts.Workloads
+func Figure3(r Harness) Result {
+	specs := r.Options().Workloads
 	var reqs []RunRequest
 	for _, spec := range specs {
 		reqs = append(reqs,
@@ -100,7 +100,7 @@ func Figure3(r *Runner) Result {
 // saturation between directions and across GPU sockets, with kernel
 // launches marked. The profiled run needs its own instrumented system,
 // so it bypasses the Runner memo.
-func Figure5(r *Runner) Result {
+func Figure5(r Harness) Result {
 	spec, ok := workload.ByName("HPC-HPGMG-UVM")
 	if !ok {
 		panic("exp: HPC-HPGMG-UVM missing from workload table")
@@ -109,7 +109,7 @@ func Figure5(r *Runner) Result {
 	sys := core.MustSystem(cfg)
 	window := 2000
 	sys.EnableLinkProfile(window)
-	res := sys.Run(spec.Program(r.opts.workloadOptions()))
+	res := sys.Run(spec.Program(r.Options().workloadOptions()))
 	profiles, marks := sys.LinkProfiles()
 
 	// One E/I column pair per physical link. On the synthesized
@@ -172,7 +172,7 @@ func Figure5(r *Runner) Result {
 // Figure6 evaluates dynamic link adaptivity against sample time, with
 // the doubled-bandwidth upper bound in red (Figure 6). Baseline is the
 // locality-optimized 4-socket GPU with static symmetric links.
-func Figure6(r *Runner) Result {
+func Figure6(r Harness) Result {
 	sampleTimes := []int{1000, 5000, 20000}
 	specs := r.evaluated()
 	dblCfg := r.Base(4)
@@ -236,7 +236,7 @@ func Figure6(r *Runner) Result {
 
 // SwitchTimeSensitivity reproduces the Section 4.1 sensitivity study:
 // lane turn cost of 10, 100 and 500 cycles at the 5K sample time.
-func SwitchTimeSensitivity(r *Runner) Result {
+func SwitchTimeSensitivity(r Harness) Result {
 	turns := []int{10, 100, 500}
 	specs := r.evaluated()
 	var reqs []RunRequest
@@ -280,7 +280,7 @@ func SwitchTimeSensitivity(r *Runner) Result {
 // 4-socket locality baseline: memory-side local-only (baseline), static
 // 50/50 partitioning, shared coherent L1+L2, and NUMA-aware dynamic
 // partitioning (Figure 8).
-func Figure8(r *Runner) Result {
+func Figure8(r Harness) Result {
 	modes := []arch.CacheMode{arch.CacheStaticPartition, arch.CacheSharedCoherent, arch.CacheNUMAAware}
 	specs := r.evaluated()
 	var reqs []RunRequest
@@ -337,7 +337,7 @@ func Figure8(r *Runner) Result {
 // Figure9 measures the cost of extending software coherence into the
 // L2: the NUMA-aware configuration against a hypothetical L2 that can
 // ignore invalidation events (Figure 9; paper average ≈10%).
-func Figure9(r *Runner) Result {
+func Figure9(r Harness) Result {
 	specs := r.evaluated()
 	var reqs []RunRequest
 	for _, spec := range specs {
@@ -369,7 +369,7 @@ func Figure9(r *Runner) Result {
 // WritePolicy reproduces the Section 5.2 sensitivity: write-back versus
 // write-through coherent L2 (paper: WB wins by ≈9% from reduced
 // inter-GPU write bandwidth).
-func WritePolicy(r *Runner) Result {
+func WritePolicy(r Harness) Result {
 	specs := r.evaluated()
 	var reqs []RunRequest
 	for _, spec := range specs {
@@ -400,7 +400,7 @@ func WritePolicy(r *Runner) Result {
 
 // Figure10 shows the combined effect of both mechanisms versus each in
 // isolation, against the single GPU and the 4× larger GPU (Figure 10).
-func Figure10(r *Runner) Result {
+func Figure10(r Harness) Result {
 	specs := r.evaluated()
 	linkOnly := r.Base(4)
 	linkOnly.LinkMode = arch.LinkDynamic
@@ -451,9 +451,9 @@ func Figure10(r *Runner) Result {
 // at 2, 4 and 8 sockets against hypothetical 2×, 4× and 8× larger
 // single GPUs, over all 41 workloads (Figure 11; paper: 1.5×/2.3×/3.2×
 // at 89%/84%/76% efficiency).
-func Figure11(r *Runner) Result {
+func Figure11(r Harness) Result {
 	sockets := []int{2, 4, 8}
-	specs := r.opts.Workloads
+	specs := r.Options().Workloads
 	var reqs []RunRequest
 	for _, spec := range specs {
 		reqs = append(reqs, RunRequest{r.Base(1), spec})
@@ -508,8 +508,8 @@ func Figure11(r *Runner) Result {
 // at 10pJ/b for the software baseline versus the full NUMA-aware GPU,
 // reported at paper-scale link widths (utilization-preserving scaling
 // by the architecture divisor).
-func Power(r *Runner) Result {
-	specs := r.opts.Workloads
+func Power(r Harness) Result {
+	specs := r.Options().Workloads
 	var reqs []RunRequest
 	for _, spec := range specs {
 		reqs = append(reqs, RunRequest{r.Base(4), spec}, RunRequest{r.NUMAAware(4), spec})
@@ -519,7 +519,7 @@ func Power(r *Runner) Result {
 	t := stats.NewTable("Section 6: interconnect power at 10pJ/b (4-socket, paper-scale watts)",
 		"Workload", "Baseline W", "NUMA-aware W")
 	var baseW, numaW []float64
-	scale := float64(r.opts.Divisor)
+	scale := float64(r.Options().Divisor)
 	for i, spec := range specs {
 		bw := res[2*i].InterconnectPower() * scale
 		nw := res[2*i+1].InterconnectPower() * scale
@@ -565,7 +565,7 @@ func maxSlice(vs []float64) float64 {
 // by its Section 4 discussion): the same total link bandwidth built
 // from 4 coarser lanes instead of 8, halving the balancer's
 // reconfiguration resolution.
-func LaneGranularity(r *Runner) Result {
+func LaneGranularity(r Harness) Result {
 	specs := r.evaluated()
 	fine8 := r.Base(4)
 	fine8.LinkMode = arch.LinkDynamic
@@ -607,9 +607,9 @@ func LaneGranularity(r *Runner) Result {
 // 4-socket NUMA-aware GPU against a single dedicated socket (a 1/4
 // partition), reporting how much of the big machine's performance one
 // quarter of it already delivers.
-func MultiTenancy(r *Runner) Result {
+func MultiTenancy(r Harness) Result {
 	var specs []workload.Spec
-	for _, spec := range r.opts.Workloads {
+	for _, spec := range r.Options().Workloads {
 		// "Small": the paper's own Figure 2 threshold — grids that
 		// cannot fill even today's single GPU at 2×.
 		if spec.PaperCTAs < 2*baselineSMs {

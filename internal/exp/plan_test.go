@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// TestPlanOverlappingSweeps is the delta-planning contract: sweep B
+// overlapping sweep A by N keys classifies those N as Cached, executes
+// exactly |B|-N new simulations, and counts the N into Stats.DeltaHits.
+func TestPlanOverlappingSweeps(t *testing.T) {
+	opts := tinyOptions()
+	opts.Parallelism = 2
+	r := NewRunner(opts)
+	specs := r.opts.Workloads // 4 workloads
+
+	var sweepA, sweepB []RunRequest
+	for _, s := range specs {
+		sweepA = append(sweepA, RunRequest{r.Base(2), s})
+	}
+	// B overlaps A on the first two workloads and adds 4 new keys.
+	for _, s := range specs[:2] {
+		sweepB = append(sweepB, RunRequest{r.Base(2), s})
+	}
+	for _, s := range specs {
+		sweepB = append(sweepB, RunRequest{r.Base(4), s})
+	}
+	overlap := 2
+
+	planA := r.Plan(sweepA)
+	if len(planA.Todo) != len(sweepA) || len(planA.Cached) != 0 || len(planA.Inflight) != 0 {
+		t.Fatalf("cold plan A = %d todo / %d cached / %d inflight, want all %d todo",
+			len(planA.Todo), len(planA.Cached), len(planA.Inflight), len(sweepA))
+	}
+	r.RunAll(sweepA)
+	if st := r.Stats(); st.Simulations != uint64(len(sweepA)) {
+		t.Fatalf("sweep A ran %d simulations, want %d", st.Simulations, len(sweepA))
+	}
+
+	planB := r.Plan(sweepB)
+	if len(planB.Cached) != overlap {
+		t.Fatalf("plan B cached %d keys, want the overlap %d", len(planB.Cached), overlap)
+	}
+	if want := len(sweepB) - overlap; len(planB.Todo) != want {
+		t.Fatalf("plan B todo %d keys, want the delta %d", len(planB.Todo), want)
+	}
+	r.RunAll(sweepB)
+
+	st := r.Stats()
+	if want := uint64(len(sweepA) + len(sweepB) - overlap); st.Simulations != want {
+		t.Fatalf("total simulations %d, want |A|+|B|-overlap = %d", st.Simulations, want)
+	}
+	if st.DeltaHits != uint64(overlap) {
+		t.Fatalf("DeltaHits = %d, want %d", st.DeltaHits, overlap)
+	}
+	if st.CoalescedKeys != 0 {
+		t.Fatalf("CoalescedKeys = %d, want 0 (nothing was in flight)", st.CoalescedKeys)
+	}
+}
+
+// TestPlanPrefillsFromCache simulates the cross-restart delta: a fresh
+// Runner whose second-level cache already holds a sweep's results must
+// classify every key Cached at plan time, fire OnResult for each with
+// SourceCached, and then execute zero simulations.
+func TestPlanPrefillsFromCache(t *testing.T) {
+	cache := newMapCache()
+	warmOpts := tinyOptions()
+	warmOpts.Cache = cache
+	warm := NewRunner(warmOpts)
+	var reqs []RunRequest
+	for _, s := range warm.opts.Workloads[:2] {
+		reqs = append(reqs, RunRequest{warm.Base(2), s})
+	}
+	warm.RunAll(reqs)
+
+	var mu sync.Mutex
+	got := map[string]RunSource{}
+	o := tinyOptions()
+	o.Cache = cache
+	o.OnResult = func(key string, res core.Result, src RunSource) {
+		mu.Lock()
+		got[key] = src
+		mu.Unlock()
+	}
+	r := NewRunner(o)
+	plan := r.Plan(reqs)
+	if len(plan.Cached) != len(reqs) {
+		t.Fatalf("warm plan cached %d of %d keys", len(plan.Cached), len(reqs))
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("OnResult fired for %d keys at plan time, want %d", len(got), len(reqs))
+	}
+	for key, src := range got {
+		if src != SourceCached {
+			t.Fatalf("prefill of %s reported source %q, want %q", key, src, SourceCached)
+		}
+	}
+	res := r.RunAll(reqs)
+	st := r.Stats()
+	if st.Simulations != 0 || st.CacheHits != uint64(len(reqs)) || st.DeltaHits != uint64(len(reqs)) {
+		t.Fatalf("warm sweep stats = %+v, want 0 sims, %d cache hits, %d delta hits", st, len(reqs), len(reqs))
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("OnResult fired %d times after RunAll, want still %d (once per key)", len(got), len(reqs))
+	}
+	for i, q := range reqs {
+		if res[i].Name != q.Spec.Name {
+			t.Fatalf("result %d named %q, want %q", i, res[i].Name, q.Spec.Name)
+		}
+	}
+}
+
+// TestOnResultFiresOncePerKey hammers duplicate requests through RunAll
+// and direct Run calls: the runner-level callback must fire exactly once
+// per unique key, with the executing run reporting SourceSimulated.
+func TestOnResultFiresOncePerKey(t *testing.T) {
+	var mu sync.Mutex
+	fired := map[string]int{}
+	src := map[string]RunSource{}
+	opts := tinyOptions()
+	opts.Parallelism = 4
+	opts.OnResult = func(key string, res core.Result, s RunSource) {
+		mu.Lock()
+		fired[key]++
+		src[key] = s
+		mu.Unlock()
+	}
+	r := NewRunner(opts)
+	spec := r.opts.Workloads[0]
+	reqs := []RunRequest{
+		{r.Base(2), spec}, {r.Base(2), spec}, {r.Base(2), spec},
+		{r.Base(4), spec}, {r.Base(4), spec},
+	}
+	r.RunAll(reqs)
+	r.Run(r.Base(2), spec) // memo repeat after completion
+	if len(fired) != 2 {
+		t.Fatalf("OnResult saw %d unique keys, want 2", len(fired))
+	}
+	for key, n := range fired {
+		if n != 1 {
+			t.Fatalf("OnResult fired %d times for %s, want exactly once", n, key)
+		}
+		if src[key] != SourceSimulated {
+			t.Fatalf("executing run of %s reported source %q, want %q", key, src[key], SourceSimulated)
+		}
+	}
+}
+
+// TestSessionAttribution runs two sessions over one shared Runner with
+// overlapping sweeps: each session's callback must report exactly its
+// own keys (dedup included), and the second session must see the
+// overlap as cached rather than re-simulated.
+func TestSessionAttribution(t *testing.T) {
+	opts := tinyOptions()
+	opts.Parallelism = 2
+	r := NewRunner(opts)
+	specs := r.opts.Workloads
+
+	collect := func() (map[string]RunSource, func(string, core.Result, RunSource)) {
+		seen := map[string]RunSource{}
+		var mu sync.Mutex
+		return seen, func(key string, res core.Result, s RunSource) {
+			mu.Lock()
+			seen[key] = s
+			mu.Unlock()
+		}
+	}
+	seenA, onA := collect()
+	seenB, onB := collect()
+	sa := r.Session(onA)
+	sb := r.Session(onB)
+
+	var sweepA, sweepB []RunRequest
+	for _, s := range specs[:3] {
+		sweepA = append(sweepA, RunRequest{r.Base(2), s}, RunRequest{r.Base(2), s}) // dup on purpose
+	}
+	for _, s := range specs[1:] {
+		sweepB = append(sweepB, RunRequest{r.Base(2), s})
+	}
+	sa.RunAll(sweepA)
+	sb.RunAll(sweepB)
+
+	if len(seenA) != 3 {
+		t.Fatalf("session A reported %d keys, want 3 unique", len(seenA))
+	}
+	if len(seenB) != 3 {
+		t.Fatalf("session B reported %d keys, want 3", len(seenB))
+	}
+	for key, src := range seenA {
+		if src != SourceSimulated {
+			t.Fatalf("session A key %s source %q, want simulated", key, src)
+		}
+	}
+	// B's overlap with A (specs[1], specs[2]) must be cached; its new
+	// key (specs[3]) simulated. No key of A-only (specs[0]) may appear.
+	onlyA := r.RunKey(r.Base(2), specs[0])
+	if _, leaked := seenB[onlyA]; leaked {
+		t.Fatalf("session B's callback saw session A's key %s", onlyA)
+	}
+	cached, simulated := 0, 0
+	for _, src := range seenB {
+		switch src {
+		case SourceCached:
+			cached++
+		case SourceSimulated:
+			simulated++
+		default:
+			t.Fatalf("unexpected source %q in session B", src)
+		}
+	}
+	if cached != 2 || simulated != 1 {
+		t.Fatalf("session B saw %d cached / %d simulated, want 2/1", cached, simulated)
+	}
+	if st := r.Stats(); st.Simulations != 4 {
+		t.Fatalf("shared runner simulated %d keys, want 4 unique", st.Simulations)
+	}
+}
+
+// TestPlanObservedSweepSkipsCache pins the observability constraint: an
+// observed run must actually simulate, so Plan with Obs enabled
+// classifies everything Todo without consulting the cache.
+func TestPlanObservedSweepSkipsCache(t *testing.T) {
+	cache := newMapCache()
+	warm := NewRunner(cachedOptions(cache))
+	req := RunRequest{warm.Base(2), warm.opts.Workloads[0]}
+	warm.Run(req.Cfg, req.Spec)
+
+	getsBefore := cache.gets
+	o := cachedOptions(cache)
+	o.Obs = arch.ObsSpec{Series: true, SamplePeriod: 500}
+	r := NewRunner(o)
+	plan := r.Plan([]RunRequest{req})
+	if len(plan.Todo) != 1 || len(plan.Cached) != 0 {
+		t.Fatalf("observed plan = %d todo / %d cached, want 1/0", len(plan.Todo), len(plan.Cached))
+	}
+	if gets := cache.gets - getsBefore; gets != 0 {
+		t.Fatalf("observed plan consulted the cache %d times, want 0", gets)
+	}
+}

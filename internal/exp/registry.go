@@ -10,7 +10,10 @@ import "repro/internal/stats"
 type Experiment struct {
 	Name string
 	Desc string
-	Run  func(*Runner) Result
+	// Run takes a Harness so callers choose the attribution scope:
+	// cmd/numagpu passes the *Runner directly, the numagpud service
+	// passes a per-job Session (see exp.Session).
+	Run func(Harness) Result
 }
 
 var registry = []Experiment{

@@ -9,12 +9,12 @@ import (
 // Table1 renders the simulation parameters (paper Table 1) from the
 // configuration actually used by this harness, alongside the paper-
 // scale values.
-func Table1(r *Runner) Result {
+func Table1(r Harness) Result {
 	paper := r.Base(4)
 	// Undo the divisor to show the paper machine next to the harness
 	// machine.
 	t := stats.NewTable("Table 1: simulation parameters",
-		"Parameter", "Paper value", "Harness value (1/"+fmt.Sprint(r.opts.Divisor)+" scale)")
+		"Parameter", "Paper value", "Harness value (1/"+fmt.Sprint(r.Options().Divisor)+" scale)")
 	add := func(name, pv, hv string) { t.AddRow(name, pv, hv) }
 	add("GPU sockets", "4", fmt.Sprint(paper.Sockets))
 	add("SMs per socket", "64", fmt.Sprint(paper.SMsPerSocket))
@@ -40,11 +40,11 @@ func Table1(r *Runner) Result {
 // Table2 renders the workload inventory with the paper's time-weighted
 // CTA counts and memory footprints (paper Table 2), plus the synthetic
 // generator's simulation-scale grid.
-func Table2(r *Runner) Result {
+func Table2(r Harness) Result {
 	t := stats.NewTable("Table 2: workloads (paper metadata + simulation-scale grids)",
 		"Workload", "Paper CTAs", "Paper MB", "Sim CTAs", "Warps/CTA", "Grey")
 	var totalCTAs float64
-	for _, s := range r.opts.Workloads {
+	for _, s := range r.Options().Workloads {
 		grey := ""
 		if s.Grey {
 			grey = "yes"
@@ -53,7 +53,7 @@ func Table2(r *Runner) Result {
 		totalCTAs += float64(s.PaperCTAs)
 	}
 	return Result{Table: t, Summary: map[string]float64{
-		"workloads":       float64(len(r.opts.Workloads)),
-		"mean_paper_ctas": totalCTAs / float64(len(r.opts.Workloads)),
+		"workloads":       float64(len(r.Options().Workloads)),
+		"mean_paper_ctas": totalCTAs / float64(len(r.Options().Workloads)),
 	}}
 }

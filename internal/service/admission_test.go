@@ -126,7 +126,7 @@ func TestQueueFullShedsWith429(t *testing.T) {
 	}
 
 	_, err = submitTinySweep(c)
-	var ae *apiError
+	var ae *Error
 	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
 		t.Fatalf("over-depth submit = %v, want HTTP 429", err)
 	}

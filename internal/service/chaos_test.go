@@ -115,7 +115,7 @@ func TestFabricClientRetries429HonoringRetryAfter(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if posts.Add(1) == 1 {
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "shed")
+			writeAPIError(w, http.StatusTooManyRequests, "queue_full", "shed")
 			return
 		}
 		writeJSON(w, http.StatusAccepted, RemoteRunStatus{ID: "x", State: JobDone, Result: &res})

@@ -1,13 +1,17 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -28,16 +32,24 @@ func NewClient(base string) *Client {
 	return &Client{BaseURL: base, HTTPClient: http.DefaultClient}
 }
 
-// apiError is the decoded {"error": "..."} body of a non-2xx reply.
-// RetryAfter carries the parsed Retry-After header (0 when absent) so
-// shed clients can honor the server's backoff hint.
-type apiError struct {
+// Error is the typed form of a non-2xx numagpud reply, decoded from
+// the {"error": {"code", "message", "retry_after_ms"}} envelope every
+// endpoint speaks. Code is the stable machine-readable string clients
+// should switch on (see errors.go); Status is the HTTP status;
+// RetryAfter carries the server's backoff hint (from the body's
+// retry_after_ms, falling back to the Retry-After header; 0 when
+// absent). Every Client method returns a *Error for API failures:
+//
+//	var apiErr *service.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == "queue_full" { ... }
+type Error struct {
 	Status     int
+	Code       string
 	Message    string
 	RetryAfter time.Duration
 }
 
-func (e *apiError) Error() string {
+func (e *Error) Error() string {
 	return fmt.Sprintf("numagpud: HTTP %d: %s", e.Status, e.Message)
 }
 
@@ -85,22 +97,40 @@ func (c *Client) raw(method, path string, in any) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
+		return nil, decodeError(resp.StatusCode, resp.Header, body)
+	}
+	return body, nil
+}
+
+// decodeError builds the typed *Error from a non-2xx reply. It decodes
+// the structured envelope, falling back to the pre-envelope
+// {"error": "..."} string shape (an older daemon) and finally to the
+// raw body.
+func decodeError(status int, hdr http.Header, body []byte) *Error {
+	ae := &Error{Status: status, Message: string(body)}
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && len(env.Error) > 0 {
+		var obj APIError
+		var legacy string
+		switch {
+		case json.Unmarshal(env.Error, &obj) == nil && obj.Message != "":
+			ae.Code = obj.Code
+			ae.Message = obj.Message
+			ae.RetryAfter = time.Duration(obj.RetryAfterMs) * time.Millisecond
+		case json.Unmarshal(env.Error, &legacy) == nil && legacy != "":
+			ae.Message = legacy
 		}
-		msg := string(body)
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		ae := &apiError{Status: resp.StatusCode, Message: msg}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
+	}
+	if ae.RetryAfter == 0 {
+		if ra := hdr.Get("Retry-After"); ra != "" {
 			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
 				ae.RetryAfter = time.Duration(secs) * time.Second
 			}
 		}
-		return nil, ae
 	}
-	return body, nil
+	return ae
 }
 
 // Experiments lists the experiments the server can run.
@@ -131,6 +161,134 @@ func (c *Client) Job(id string) (JobStatus, error) {
 	var out JobStatus
 	err := c.do("GET", "/v1/jobs/"+id, nil, &out)
 	return out, err
+}
+
+// JobsQuery selects one page of the jobs listing. The zero value asks
+// for the first page at the server's default size.
+type JobsQuery struct {
+	// Limit caps the page size (server default when 0).
+	Limit int
+	// After is the cursor from the previous page's Next field.
+	After string
+}
+
+// Jobs fetches one page of jobs in submission order. Iterate by
+// passing each page's Next as the following query's After until Next
+// comes back empty.
+func (c *Client) Jobs(q JobsQuery) (JobsPage, error) {
+	v := url.Values{}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.After != "" {
+		v.Set("after", q.After)
+	}
+	path := "/v1/jobs"
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	var out JobsPage
+	err := c.do("GET", path, nil, &out)
+	return out, err
+}
+
+// StreamJob follows a job's typed event stream (SSE), invoking on for
+// every event in log order until the job reaches a terminal state, the
+// context ends, or the callback returns an error (which aborts the
+// stream and is returned). Transport interruptions are resumed
+// transparently with Last-Event-ID, so the callback sees every event
+// exactly once — replayed run_done events carry the same
+// content-addressed run references, never a re-simulation. API
+// refusals (e.g. an unknown job) return a *Error without retrying.
+func (c *Client) StreamJob(ctx context.Context, id string, on func(JobEvent) error) error {
+	last := 0
+	for {
+		terminalSeen, err := c.streamEvents(ctx, id, &last, on)
+		if terminalSeen || ctx.Err() != nil {
+			return err
+		}
+		if err != nil {
+			var ae *Error
+			if errors.As(err, &ae) {
+				return err
+			}
+			var cbErr *callbackError
+			if errors.As(err, &cbErr) {
+				return cbErr.err
+			}
+		} else {
+			// Clean end of stream without a terminal event: the server
+			// was draining. If the job is in fact finished, we are done;
+			// otherwise fall through to reconnect.
+			if st, serr := c.Job(id); serr == nil && (st.State == JobDone || st.State == JobFailed) {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// callbackError marks a StreamJob callback failure so the resume loop
+// can tell it apart from a transport interruption.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+
+// streamEvents runs one SSE connection, delivering events after *last
+// and advancing it. It reports whether a terminal state event arrived.
+func (c *Client) streamEvents(ctx context.Context, id string, last *int, on func(JobEvent) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*last))
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return false, decodeError(resp.StatusCode, resp.Header, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = []byte(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case line == "" && len(data) > 0:
+			var ev JobEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return false, err
+			}
+			data = nil
+			if ev.ID <= *last {
+				continue // duplicate after a racy resume
+			}
+			*last = ev.ID
+			if err := on(ev); err != nil {
+				return false, &callbackError{err}
+			}
+			if ev.Type == EventState && (ev.State == JobDone || ev.State == JobFailed) {
+				return true, nil
+			}
+		}
+	}
+	return false, sc.Err()
 }
 
 // Wait polls a job until it reaches a terminal state (done or failed),

@@ -858,12 +858,12 @@ func runID(key string) string {
 func (s *Server) handleFabricRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad register request: %v", err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "bad register request: %v", err)
 		return
 	}
 	resp, err := s.fabric.register(req.Name, req.Process, req.Window)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeAPIError(w, http.StatusServiceUnavailable, codeDraining, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, resp)
@@ -871,7 +871,7 @@ func (s *Server) handleFabricRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFabricDeregister(w http.ResponseWriter, r *http.Request) {
 	if err := s.fabric.deregister(r.PathValue("id")); err != nil {
-		writeError(w, http.StatusGone, "%v", err)
+		writeAPIError(w, http.StatusGone, codeUnknownWorker, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deregistered"})
@@ -880,13 +880,13 @@ func (s *Server) handleFabricDeregister(w http.ResponseWriter, r *http.Request) 
 func (s *Server) handleFabricPoll(w http.ResponseWriter, r *http.Request) {
 	var req PollRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad poll request: %v", err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "bad poll request: %v", err)
 		return
 	}
 	resp, err := s.fabric.pollWorker(req)
 	if err != nil {
 		// 410 tells the worker its registration is gone; it re-registers.
-		writeError(w, http.StatusGone, "%v", err)
+		writeAPIError(w, http.StatusGone, codeUnknownWorker, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -926,28 +926,28 @@ func (s *Server) handleFabricSubmitRun(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&run); err != nil {
-		writeError(w, http.StatusBadRequest, "bad run request: %v", err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "bad run request: %v", err)
 		return
 	}
 	spec, ok := workload.ByName(run.Workload)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown workload %q", run.Workload)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "unknown workload %q", run.Workload)
 		return
 	}
 	if err := run.Cfg.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid config: %v", err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "invalid config: %v", err)
 		return
 	}
 	runner := s.runners.runner(run.IterScale, run.MaxCTAs)
 	if want := runner.RunKey(run.Cfg, spec); want != run.Key {
 		// Client and coordinator disagree on the content address:
 		// mixed simulator versions. Refusing keeps the cache coherent.
-		writeError(w, http.StatusConflict, "run key mismatch (client %q, coordinator %q): simulator version skew?", run.Key, want)
+		writeAPIError(w, http.StatusConflict, codeVersionSkew, "run key mismatch (client %q, coordinator %q): simulator version skew?", run.Key, want)
 		return
 	}
 	st, err := s.startRemoteRun(runner, run.Cfg, spec, run.Key)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeAPIError(w, http.StatusServiceUnavailable, codeDraining, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
@@ -963,7 +963,7 @@ func (s *Server) handleFabricRunStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.remoteMu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown run %q", id)
+		writeAPIError(w, http.StatusNotFound, codeNotFound, "unknown run %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -659,7 +659,7 @@ func TestFabricClientResubmitsOn404(t *testing.T) {
 	})
 	mux.HandleFunc("GET /v1/fabric/runs/x", func(w http.ResponseWriter, r *http.Request) {
 		gets.Add(1)
-		writeError(w, http.StatusNotFound, "unknown run")
+		writeAPIError(w, http.StatusNotFound, codeNotFound, "unknown run")
 	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
@@ -684,7 +684,7 @@ func TestFabricClientFailsFastOnHTTPError(t *testing.T) {
 	})
 	mux.HandleFunc("GET /v1/fabric/runs/x", func(w http.ResponseWriter, r *http.Request) {
 		gets.Add(1)
-		writeError(w, http.StatusInternalServerError, "boom")
+		writeAPIError(w, http.StatusInternalServerError, codeJobFailed, "boom")
 	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()

@@ -44,6 +44,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE numagpud_cache_misses_total counter\n")
 	p("numagpud_cache_misses_total %d\n", rs.CacheMisses)
 
+	p("# HELP numagpud_delta_hits_total Sweep-plan keys resolved without new work by delta planning.\n")
+	p("# TYPE numagpud_delta_hits_total counter\n")
+	p("numagpud_delta_hits_total %d\n", rs.DeltaHits)
+
+	p("# HELP numagpud_coalesced_keys_total Sweep-plan keys found already in flight and coalesced onto the running execution.\n")
+	p("# TYPE numagpud_coalesced_keys_total counter\n")
+	p("numagpud_coalesced_keys_total %d\n", rs.CoalescedKeys)
+
 	p("# HELP numagpud_cache_entries Result files in the persistent cache.\n")
 	p("# TYPE numagpud_cache_entries gauge\n")
 	p("numagpud_cache_entries %d\n", ds.Entries)

@@ -160,7 +160,7 @@ func (c *FabricClient) latchDown() {
 // retryable reports whether an error is worth retrying (transport
 // failure or an explicit shed) and the server-requested delay floor.
 func retryable(err error) (ok bool, floor time.Duration) {
-	var ae *apiError
+	var ae *Error
 	if !errors.As(err, &ae) {
 		return true, 0 // transport-level: retry
 	}
@@ -233,7 +233,7 @@ func (c *FabricClient) Execute(key string, cfg arch.Config, spec workload.Spec, 
 		}
 		time.Sleep(poll)
 		if err := cl.do("GET", "/v1/fabric/runs/"+st.ID, nil, &st); err != nil {
-			var ae *apiError
+			var ae *Error
 			if errors.As(err, &ae) && ae.Status == http.StatusNotFound && resubmits < retries {
 				// The coordinator forgot the run (restart, or retention
 				// eviction under a slow poller): resubmit — idempotent

@@ -18,14 +18,21 @@
 //	GET  /v1/experiments          list runnable experiments
 //	POST /v1/experiments/{name}   enqueue one experiment
 //	POST /v1/sweeps               enqueue a (config, workloads) sweep
-//	GET  /v1/jobs                 list jobs in submission order
-//	GET  /v1/jobs/{id}            job status + progress lines
+//	GET  /v1/jobs                 page through jobs in submission order
+//	                              (?limit=&after=, cursor in "next")
+//	GET  /v1/jobs/{id}            job status + run progress counters
+//	GET  /v1/jobs/{id}/events     typed event stream (SSE; resumable
+//	                              via Last-Event-ID)
 //	GET  /v1/jobs/{id}/result     deterministic result JSON (done jobs)
 //	GET  /v1/cache                cache + run-count statistics
 //	GET  /metrics                 Prometheus text format
 //	GET  /healthz                 liveness probe (alias: /healthz/live)
 //	GET  /healthz/ready           readiness probe (503 while draining
 //	                              or replaying the state journal)
+//
+// Every endpoint reports failures with one JSON envelope,
+// {"error": {"code", "message", "retry_after_ms"}}; see errors.go for
+// the stable code strings.
 //
 // Sweep-fabric endpoints (see fabric.go; the daemon is always a
 // capable coordinator, and numagpud -worker joins one as a worker):
@@ -128,20 +135,41 @@ type job struct {
 	tenant   string
 	deadline time.Time // zero: none
 	state    JobState
-	progress []string
 	result   []byte
 	err      string
+
+	// events is the append-only typed event log served by
+	// GET /v1/jobs/{id}/events (see events.go). Not journaled.
+	events []JobEvent
+	// runsTotal/runsDone/runsCached are the run progress counters:
+	// total is known upfront for sweeps (0 for experiments, which
+	// discover their runs as they go), done counts this job's unique
+	// completed runs, cached the subset resolved without new work.
+	runsTotal  int
+	runsDone   int
+	runsCached int
 }
 
 // JobStatus is the wire form of a job returned by the status
 // endpoints.
 type JobStatus struct {
-	ID       string   `json:"id"`
-	Kind     string   `json:"kind"`
-	Name     string   `json:"name"`
-	State    JobState `json:"state"`
-	Progress []string `json:"progress,omitempty"`
-	Error    string   `json:"error,omitempty"`
+	ID         string   `json:"id"`
+	Kind       string   `json:"kind"`
+	Name       string   `json:"name"`
+	State      JobState `json:"state"`
+	RunsTotal  int      `json:"runs_total,omitempty"`
+	RunsDone   int      `json:"runs_done,omitempty"`
+	RunsCached int      `json:"runs_cached,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// JobsPage is one page of GET /v1/jobs: jobs in submission order plus
+// the cursor to pass as ?after= for the next page (empty on the last
+// page). The cursor is a job ID; because IDs are dense and ordered, an
+// evicted cursor still resumes at the right place.
+type JobsPage struct {
+	Jobs []JobStatus `json:"jobs"`
+	Next string      `json:"next,omitempty"`
 }
 
 // ExperimentInfo describes one runnable experiment.
@@ -186,6 +214,9 @@ type Server struct {
 	active  map[*job]bool
 	nextID  int
 	queued  int
+	// eventCond (on mu) wakes SSE streams when any job gains an event
+	// or changes state; see events.go.
+	eventCond *sync.Cond
 
 	// Remotely submitted fabric runs (POST /v1/fabric/runs), by the
 	// content address of their RunKey. remoteActive counts runs still
@@ -227,6 +258,7 @@ func New(cfg Config) (*Server, error) {
 		queue:      make(chan *job, cfg.QueueDepth),
 		remoteRuns: make(map[string]*remoteRun),
 	}
+	s.eventCond = sync.NewCond(&s.mu)
 	s.admission = newAdmission(cfg.TenantQuota)
 	opts := cfg.Options
 	opts.Cache = nil // owned by the Server: only the configured DiskCache is wired in
@@ -238,7 +270,10 @@ func New(cfg Config) (*Server, error) {
 		s.disk = disk
 		opts.Cache = disk
 	}
-	opts.Progress = (*progressRouter)(s)
+	// Per-run attribution rides the typed event log (each job's
+	// Session reports its own completions); the legacy progress writer
+	// only feeds the operator mirror now.
+	opts.Progress = cfg.Mirror
 
 	// Durable coordinator state: replay the journal (job submissions +
 	// shard grants not yet resolved) so a restarted coordinator resumes
@@ -291,6 +326,7 @@ func New(cfg Config) (*Server, error) {
 				j.sweep = &sw
 			}
 		}
+		j.events = []JobEvent{{ID: 1, Type: EventState, State: JobQueued}}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		if err := s.enqueue(j); err != nil {
@@ -298,6 +334,9 @@ func New(cfg Config) (*Server, error) {
 			// rather than silently losing it.
 			j.state = JobFailed
 			j.err = "lost across restart: job queue full on replay"
+			j.events = append(j.events,
+				JobEvent{ID: 2, Type: EventError, Message: j.err},
+				JobEvent{ID: 3, Type: EventState, State: JobFailed})
 			s.jnl.append(journalRecord{T: "fail", ID: j.id})
 			continue
 		}
@@ -310,6 +349,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /v1/fabric", s.handleFabricStatus)
@@ -346,6 +386,7 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closing = true
+		s.eventCond.Broadcast() // release SSE streams so the drain cannot hang on them
 		s.mu.Unlock()
 		s.fabric.close()
 		close(s.queue)
@@ -366,6 +407,7 @@ func (s *Server) Close() {
 func (s *Server) kill() {
 	s.mu.Lock()
 	s.closing = true
+	s.eventCond.Broadcast()
 	s.mu.Unlock()
 	s.fabric.freeze()
 	s.jnl.close()
@@ -470,27 +512,6 @@ func (rs *runnerSet) stats() exp.Stats {
 	return sum
 }
 
-// progressRouter adapts the Server to the io.Writer shape of
-// exp.Options.Progress: every per-run progress line is appended to all
-// currently-running jobs (the shared Runner cannot attribute a
-// simulation to a single job when concurrent jobs overlap on the same
-// memo key) and mirrored to Config.Mirror.
-type progressRouter Server
-
-func (p *progressRouter) Write(b []byte) (int, error) {
-	s := (*Server)(p)
-	line := strings.TrimRight(string(b), "\n")
-	s.mu.Lock()
-	for j := range s.active {
-		j.progress = append(j.progress, line)
-	}
-	s.mu.Unlock()
-	if s.cfg.Mirror != nil {
-		s.cfg.Mirror.Write(b)
-	}
-	return len(b), nil
-}
-
 // errQueueFull is returned by submit when the queue is at capacity;
 // errClosing when the server is shutting down. Admission maps the
 // former to 429 + Retry-After (shed, come back later) and handlers map
@@ -541,16 +562,14 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 	var ae *admissionError
 	switch {
 	case errors.As(err, &ae):
-		secs := int64(ae.retryAfter / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		// The envelope code is the admission reason ("quota",
+		// "queue_full"), matching the reason label on the rejection
+		// metric; Retry-After rides both the header and the body.
+		writeAPIErrorRetry(w, http.StatusTooManyRequests, ae.reason, ae.retryAfter, "%v", err)
 	case errors.Is(err, errClosing):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeAPIError(w, http.StatusServiceUnavailable, codeDraining, "%v", err)
 	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 	}
 }
 
@@ -568,6 +587,7 @@ func (s *Server) submit(j *job) error {
 	s.nextID++
 	j.id = fmt.Sprintf("job-%d", s.nextID)
 	j.state = JobQueued
+	s.appendEventLocked(j, JobEvent{Type: EventState, State: JobQueued})
 	if err := s.enqueue(j); err != nil {
 		s.mu.Unlock()
 		return err
@@ -606,6 +626,8 @@ func (s *Server) worker() {
 		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 			j.state = JobFailed
 			j.err = "deadline exceeded before start"
+			s.appendEventLocked(j, JobEvent{Type: EventError, Message: j.err})
+			s.appendEventLocked(j, JobEvent{Type: EventState, State: JobFailed})
 			s.queued--
 			s.deadlineJobsCancelled++
 			s.evictLocked()
@@ -614,6 +636,7 @@ func (s *Server) worker() {
 			continue
 		}
 		j.state = JobRunning
+		s.appendEventLocked(j, JobEvent{Type: EventState, State: JobRunning})
 		s.queued--
 		s.active[j] = true
 		s.mu.Unlock()
@@ -622,16 +645,22 @@ func (s *Server) worker() {
 		payload, err := s.execute(j)
 		s.admission.observe(time.Since(start))
 
+		// The terminal state event is appended in the same critical
+		// section as the state flip, so a streaming reader never sees a
+		// terminal state without its closing event (or vice versa).
 		s.mu.Lock()
 		delete(s.active, j)
 		rec := journalRecord{T: "done", ID: j.id}
 		if err != nil {
 			j.state = JobFailed
 			j.err = err.Error()
+			s.appendEventLocked(j, JobEvent{Type: EventError, Message: j.err})
+			s.appendEventLocked(j, JobEvent{Type: EventState, State: JobFailed})
 			rec.T = "fail"
 		} else {
 			j.state = JobDone
 			j.result = payload
+			s.appendEventLocked(j, JobEvent{Type: EventState, State: JobDone})
 		}
 		s.evictLocked()
 		s.mu.Unlock()
@@ -706,7 +735,10 @@ func (s *Server) execute(j *job) (payload []byte, err error) {
 		if !ok { // submit validated; registry changed underneath?
 			return nil, fmt.Errorf("unknown experiment %q", j.name)
 		}
-		res := e.Run(s.runner)
+		// Experiments discover their runs as they go, so the total is
+		// unknown upfront: the job streams run_done events with no
+		// Total and reports runs_done only.
+		res := e.Run(s.runner.Session(s.runCallback(j, 0)))
 		return json.Marshal(e.Named(res))
 	case "sweep":
 		cfg, specs, err := s.sweepPlan(j.sweep)
@@ -717,15 +749,50 @@ func (s *Server) execute(j *job) (payload []byte, err error) {
 		for i, spec := range specs {
 			reqs[i] = exp.RunRequest{Cfg: cfg, Spec: spec}
 		}
-		if j.sweep.Obs == nil || !j.sweep.Obs.Enabled() {
-			results := s.runner.RunAll(reqs)
-			return json.Marshal(struct {
-				Results []core.Result `json:"results"`
-			}{results})
+		s.mu.Lock()
+		j.runsTotal = len(reqs)
+		s.mu.Unlock()
+		if j.sweep.Obs != nil && j.sweep.Obs.Enabled() {
+			return s.executeObservedSweep(j, reqs)
 		}
-		return s.executeObservedSweep(j.sweep, reqs)
+		// Delta planning: resolve every key against the memo and the
+		// disk cache before dispatch, so only the uncovered delta
+		// reaches the fabric backend or the local pool. Cache hits are
+		// promoted into the memo here; the session below then reports
+		// them as cached completions without any new work.
+		plan := s.runner.Plan(reqs)
+		s.appendEvent(j, JobEvent{Type: EventProgress, Message: fmt.Sprintf(
+			"planned %d runs: %d cached, %d in flight, %d to execute",
+			len(reqs), len(plan.Cached), len(plan.Inflight), len(plan.Todo))})
+		results := s.runner.Session(s.runCallback(j, len(reqs))).RunAll(reqs)
+		return json.Marshal(struct {
+			Results []core.Result `json:"results"`
+		}{results})
 	}
 	return nil, fmt.Errorf("unknown job kind %q", j.kind)
+}
+
+// runCallback builds the exp.Session callback attributing one job's run
+// completions: it advances the job's progress counters and appends a
+// run_done event referencing the run's content address. total is 0 when
+// unknown (experiments).
+func (s *Server) runCallback(j *job, total int) func(string, core.Result, exp.RunSource) {
+	return func(key string, res core.Result, src exp.RunSource) {
+		s.mu.Lock()
+		j.runsDone++
+		if src == exp.SourceCached {
+			j.runsCached++
+		}
+		s.appendEventLocked(j, JobEvent{Type: EventRunDone, Run: &RunDone{
+			Run:      runID(key),
+			Workload: res.Name,
+			Source:   src,
+			Cycles:   res.Cycles,
+			Done:     j.runsDone,
+			Total:    total,
+		}})
+		s.mu.Unlock()
+	}
 }
 
 // executeObservedSweep runs a sweep whose request asked for
@@ -737,7 +804,8 @@ func (s *Server) execute(j *job) (payload []byte, err error) {
 // results, so the Put-side bytes are identical and warm later unobserved
 // sweeps. The payload gains an "obs" array aligned index-for-index with
 // "results".
-func (s *Server) executeObservedSweep(req *SweepRequest, reqs []exp.RunRequest) ([]byte, error) {
+func (s *Server) executeObservedSweep(j *job, reqs []exp.RunRequest) ([]byte, error) {
+	req := j.sweep
 	opts := s.runner.Options()
 	opts.Obs = *req.Obs
 	var obsMu sync.Mutex
@@ -755,7 +823,7 @@ func (s *Server) executeObservedSweep(req *SweepRequest, reqs []exp.RunRequest) 
 		obsMu.Unlock()
 	}
 	runner := exp.NewRunner(opts)
-	results := runner.RunAll(reqs)
+	results := runner.Session(s.runCallback(j, len(reqs))).RunAll(reqs)
 	obsOut := make([]*SweepObs, len(reqs))
 	for i, rr := range reqs {
 		obsOut[i] = byKey[runner.RunKey(rr.Cfg, rr.Spec)]
@@ -914,10 +982,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
 	var infos []ExperimentInfo
 	for _, e := range exp.Experiments() {
@@ -929,7 +993,7 @@ func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, ok := exp.ExperimentByName(name); !ok {
-		writeError(w, http.StatusNotFound, "unknown experiment %q", name)
+		writeAPIError(w, http.StatusNotFound, codeNotFound, "unknown experiment %q", name)
 		return
 	}
 	j := &job{kind: "experiment", name: name}
@@ -945,12 +1009,12 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "bad sweep request: %v", err)
 		return
 	}
 	// Validate now so the client gets a 400 instead of a failed job.
 	if _, _, err := s.sweepPlan(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	name := req.Preset
@@ -969,23 +1033,77 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) status(j *job) JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := JobStatus{ID: j.id, Kind: j.kind, Name: j.name, State: j.state, Error: j.err}
-	st.Progress = append(st.Progress, j.progress...)
-	return st
+	return s.statusLocked(j)
+}
+
+// statusLocked builds the wire form of one job. Caller holds s.mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID: j.id, Kind: j.kind, Name: j.name, State: j.state,
+		RunsTotal: j.runsTotal, RunsDone: j.runsDone, RunsCached: j.runsCached,
+		Error: j.err,
+	}
+}
+
+// defaultJobsPageLimit caps one GET /v1/jobs page when the client sends
+// no ?limit= (and bounds what it may ask for).
+const (
+	defaultJobsPageLimit = 100
+	maxJobsPageLimit     = 1000
+)
+
+// jobNumber extracts the ordinal from a "job-N" ID. Cursors compare by
+// this number, so a cursor whose job has been evicted (or that was
+// itself the last of a page later evicted) still resumes exactly where
+// the previous page ended instead of failing.
+func jobNumber(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := defaultJobsPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "bad limit %q (want a positive integer)", v)
+			return
+		}
+		limit = min(n, maxJobsPageLimit)
+	}
+	after := -1
+	if v := q.Get("after"); v != "" {
+		n, ok := jobNumber(v)
+		if !ok {
+			writeAPIError(w, http.StatusBadRequest, codeInvalidArgument, "bad cursor %q (want a job ID)", v)
+			return
+		}
+		after = n
+	}
 	s.mu.Lock()
-	jobs := make([]*job, 0, len(s.order))
+	page := JobsPage{Jobs: []JobStatus{}}
 	for _, id := range s.order {
-		jobs = append(jobs, s.jobs[id])
+		if n, ok := jobNumber(id); ok && n <= after {
+			continue
+		}
+		if len(page.Jobs) == limit {
+			// More jobs remain beyond this page: hand back the last
+			// included ID as the cursor.
+			page.Next = page.Jobs[len(page.Jobs)-1].ID
+			break
+		}
+		page.Jobs = append(page.Jobs, s.statusLocked(s.jobs[id]))
 	}
 	s.mu.Unlock()
-	statuses := make([]JobStatus, 0, len(jobs))
-	for _, j := range jobs {
-		statuses = append(statuses, s.status(j))
-	}
-	writeJSON(w, http.StatusOK, statuses)
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (s *Server) lookup(id string) (*job, bool) {
@@ -998,7 +1116,7 @@ func (s *Server) lookup(id string) (*job, bool) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeAPIError(w, http.StatusNotFound, codeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.status(j))
@@ -1007,7 +1125,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeAPIError(w, http.StatusNotFound, codeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	s.mu.Lock()
@@ -1020,9 +1138,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(result)
 	case JobFailed:
-		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+		writeAPIError(w, http.StatusInternalServerError, codeJobFailed, "job failed: %s", errMsg)
 	default:
-		writeError(w, http.StatusConflict, "job %s is %s", j.id, state)
+		writeAPIError(w, http.StatusConflict, codeNotReady, "job %s is %s", j.id, state)
 	}
 }
 

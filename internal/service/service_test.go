@@ -285,9 +285,10 @@ func TestRestartServesFromDiskCache(t *testing.T) {
 	if st := srv1.RunnerStats(); st.Simulations != 1 || st.CacheHits != 0 {
 		t.Fatalf("cold stats = %+v", st)
 	}
-	// The cold run simulated, so its job saw progress lines.
-	if len(st1.Progress) == 0 || !strings.Contains(st1.Progress[0], "ran") {
-		t.Fatalf("cold job progress missing: %+v", st1.Progress)
+	// The cold run simulated, so its job counted exactly one completed,
+	// uncached run.
+	if st1.RunsTotal != 1 || st1.RunsDone != 1 || st1.RunsCached != 0 {
+		t.Fatalf("cold job run counters = %d/%d done, %d cached; want 1/1, 0 cached", st1.RunsDone, st1.RunsTotal, st1.RunsCached)
 	}
 	stop1() // daemon restart
 
@@ -297,7 +298,7 @@ func TestRestartServesFromDiskCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitDone(t, c2, j2.ID)
+	st2 := waitDone(t, c2, j2.ID)
 	warm, err := c2.Result(j2.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -307,6 +308,10 @@ func TestRestartServesFromDiskCache(t *testing.T) {
 	}
 	if st := srv2.RunnerStats(); st.Simulations != 0 || st.CacheHits != 1 {
 		t.Fatalf("warm stats = %+v, want pure cache hit", st)
+	}
+	// Delta planning resolved the whole warm sweep from the disk cache.
+	if st2.RunsDone != 1 || st2.RunsCached != 1 {
+		t.Fatalf("warm job run counters = %d done, %d cached; want 1 done, 1 cached", st2.RunsDone, st2.RunsCached)
 	}
 
 	cs, err := c2.CacheStats()
@@ -381,17 +386,31 @@ func TestJobsListedInSubmissionOrder(t *testing.T) {
 	b, _ := c.SubmitExperiment("table2")
 	waitDone(t, c, a.ID)
 	waitDone(t, c, b.ID)
-	var jobs []service.JobStatus
-	resp, err := http.Get(c.BaseURL + "/v1/jobs")
+	page, err := c.Jobs(service.JobsQuery{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
-		t.Fatal(err)
-	}
+	jobs := page.Jobs
 	if len(jobs) != 2 || jobs[0].ID != a.ID || jobs[1].ID != b.ID {
 		t.Fatalf("jobs out of order: %+v", jobs)
+	}
+	if page.Next != "" {
+		t.Fatalf("single-page listing returned cursor %q", page.Next)
+	}
+	// Page size 1: two pages chained by the cursor, then a clean end.
+	p1, err := c.Jobs(service.JobsQuery{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Jobs) != 1 || p1.Jobs[0].ID != a.ID || p1.Next != a.ID {
+		t.Fatalf("page 1 = %+v", p1)
+	}
+	p2, err := c.Jobs(service.JobsQuery{Limit: 1, After: p1.Next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Jobs) != 1 || p2.Jobs[0].ID != b.ID || p2.Next != "" {
+		t.Fatalf("page 2 = %+v", p2)
 	}
 }
 
@@ -428,17 +447,22 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 			t.Fatalf("job %s should be retained: %+v, %v", id, st, err)
 		}
 	}
-	var jobs []service.JobStatus
-	resp, err := http.Get(c.BaseURL + "/v1/jobs")
+	page, err := c.Jobs(service.JobsQuery{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
-		t.Fatal(err)
-	}
+	jobs := page.Jobs
 	if len(jobs) != 2 || jobs[0].ID != ids[2] || jobs[1].ID != ids[3] {
 		t.Fatalf("listing after eviction = %+v", jobs)
+	}
+	// A cursor naming an evicted job must not 404 and must resume at
+	// the first retained job past it.
+	evicted, err := c.Jobs(service.JobsQuery{After: ids[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted.Jobs) != 2 || evicted.Jobs[0].ID != ids[2] {
+		t.Fatalf("evicted cursor resumed wrong: %+v", evicted)
 	}
 }
 

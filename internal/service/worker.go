@@ -340,7 +340,7 @@ func (w *Worker) kill() { close(w.killed) }
 
 // isGone reports whether an API error is HTTP 410 (unknown worker).
 func isGone(err error) bool {
-	var ae *apiError
+	var ae *Error
 	return errors.As(err, &ae) && ae.Status == http.StatusGone
 }
 
